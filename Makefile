@@ -1,0 +1,31 @@
+# Convenience targets for the EBL reproduction.
+
+.PHONY: install test bench report figures nam sweep clean
+
+install:
+	pip install -e . --no-build-isolation
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+report:
+	ebl-sim report --duration 40 --output report.md
+
+figures:
+	ebl-sim figures --trial 1 --output-dir figures
+	ebl-sim figures --trial 2 --output-dir figures
+	ebl-sim figures --trial 3 --output-dir figures
+
+nam:
+	ebl-sim nam --trial 1 --output out.nam
+
+sweep:
+	ebl-sim sweep packet-size
+	ebl-sim sweep tdma-slots
+
+clean:
+	rm -rf figures out.nam report.md .pytest_cache .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,53 @@
+"""Shared benchmark machinery.
+
+Heavy trial runs are cached per session so that benches which only
+analyse results (throughput tables, safety analysis, comparisons) don't
+re-simulate; the per-trial "delay" benches measure the full simulation
+itself with ``benchmark.pedantic(rounds=1)``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.runner import TrialResult, run_trial
+from repro.core.trials import TRIAL_1, TRIAL_2, TRIAL_3, TrialConfig
+
+#: Simulated seconds per benchmark trial — long enough for steady state,
+#: short enough to keep the bench suite quick.
+BENCH_DURATION = 30.0
+
+_CONFIGS = {
+    "trial1": TRIAL_1,
+    "trial2": TRIAL_2,
+    "trial3": TRIAL_3,
+}
+
+_cache: dict[str, TrialResult] = {}
+
+
+def bench_config(name: str) -> TrialConfig:
+    """The benchmark-length config for a named trial."""
+    return _CONFIGS[name].with_overrides(duration=BENCH_DURATION)
+
+
+def cached_trial(name: str) -> TrialResult:
+    """Run (once per session) and cache a benchmark-length trial."""
+    if name not in _cache:
+        _cache[name] = run_trial(bench_config(name))
+    return _cache[name]
+
+
+@pytest.fixture
+def trial1_result():
+    return cached_trial("trial1")
+
+
+@pytest.fixture
+def trial2_result():
+    return cached_trial("trial2")
+
+
+@pytest.fixture
+def trial3_result():
+    return cached_trial("trial3")

@@ -1,0 +1,26 @@
+"""A2: §III.E MAC-type comparison (trials 1 v 3).
+
+"The throughput for trial 3 was significantly greater than the
+throughput for trial 1 ... the one-way delay for trial 3 was
+significantly less than the one-way delay for trial 1."
+"""
+
+import pytest
+
+from repro.core.analysis import compare_mac_type
+
+
+def test_bench_analysis_mac_type(benchmark, trial1_result, trial3_result):
+    comparison = benchmark(compare_mac_type, trial1_result, trial3_result)
+
+    assert comparison.throughput_ratio > 2.0   # 802.11 wins on throughput
+    assert comparison.delay_ratio < 0.5        # and on delay
+
+    benchmark.extra_info["throughput_gain"] = round(
+        comparison.throughput_ratio, 2
+    )
+    benchmark.extra_info["delay_reduction"] = round(
+        1.0 / comparison.delay_ratio, 2
+    )
+    benchmark.extra_info["tdma_delay_s"] = round(comparison.baseline_delay, 4)
+    benchmark.extra_info["dcf_delay_s"] = round(comparison.other_delay, 4)

@@ -1,0 +1,29 @@
+"""A1: §III.E packet-size comparison (trials 1 v 2).
+
+"As expected, the reduced packet size results in a reduction in
+throughput ... Somewhat unexpectedly, however, the one-way delay for
+trial 1 and trial 2 is essentially unchanged."
+"""
+
+import pytest
+
+from repro.core.analysis import compare_packet_size
+
+
+def test_bench_analysis_packet_size(benchmark, trial1_result, trial2_result):
+    comparison = benchmark(
+        compare_packet_size, trial1_result, trial2_result
+    )
+
+    # Throughput roughly halves; delay essentially unchanged.
+    assert 0.4 <= comparison.throughput_ratio <= 0.65
+    assert comparison.delay_ratio == pytest.approx(1.0, abs=0.15)
+
+    benchmark.extra_info["throughput_ratio"] = round(
+        comparison.throughput_ratio, 3
+    )
+    benchmark.extra_info["delay_ratio"] = round(comparison.delay_ratio, 3)
+    benchmark.extra_info["trial1_mbps"] = round(
+        comparison.baseline_throughput, 4
+    )
+    benchmark.extra_info["trial2_mbps"] = round(comparison.other_throughput, 4)

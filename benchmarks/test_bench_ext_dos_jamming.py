@@ -1,0 +1,76 @@
+"""X6: the §III.E security trade-off — DoS jamming and FHSS mitigation.
+
+The paper: 802.11 wins on performance, "an important consideration for
+IVC networks, however, is security ... a combination of TDMA and FHSS
+may be used as a means to help prevent Denial-of-Service attacks".
+This bench quantifies all three corners:
+
+1. clean 802.11 (the performance baseline),
+2. 802.11 under a continuous jammer at the intersection (service dies),
+3. the FHSS-mitigated equivalent (jammer reduced to a 10% frame tax).
+"""
+
+import pytest
+
+from repro.core.analysis import analyze_trial
+from repro.core.attacks import JammerApp, fhss_effective_loss
+from repro.core.runner import harvest
+from repro.core.scenario import EblScenario
+from repro.core.trials import TRIAL_3
+
+DURATION = 20.0
+
+
+def run_corners():
+    out = {}
+
+    # Corner 1: clean 802.11.
+    clean = EblScenario(
+        TRIAL_3.with_overrides(duration=DURATION, enable_trace=False)
+    )
+    clean.run()
+    out["clean"] = analyze_trial(harvest(clean))
+
+    # Corner 2: continuous jammer parked at the intersection.
+    jammed = EblScenario(
+        TRIAL_3.with_overrides(duration=DURATION, enable_trace=False)
+    )
+    jammer = JammerApp(jammed.env, jammed.channel, (0.0, 0.0))
+    jammer.start(at=0.0)
+    jammed.run()
+    out["jammed"] = analyze_trial(harvest(jammed))
+
+    # Corner 3: FHSS over 10 channels = 10% effective frame loss.
+    mitigated = EblScenario(
+        TRIAL_3.with_overrides(
+            duration=DURATION,
+            enable_trace=False,
+            error_rate=fhss_effective_loss(10),
+        )
+    )
+    mitigated.run()
+    out["fhss"] = analyze_trial(harvest(mitigated))
+    return out
+
+
+def test_bench_ext_dos_jamming(benchmark):
+    corners = benchmark.pedantic(run_corners, rounds=1, iterations=1)
+
+    clean = corners["clean"]
+    jammed = corners["jammed"]
+    fhss = corners["fhss"]
+
+    # The DoS attack is devastating: throughput collapses by >90%.
+    assert jammed.throughput.average < 0.1 * clean.throughput.average
+    # FHSS restores most of the service.
+    assert fhss.throughput.average > 0.5 * clean.throughput.average
+    # And the safety property survives under mitigation.
+    assert fhss.safety.gap_fraction_consumed < 0.05
+
+    for name, analysis in corners.items():
+        benchmark.extra_info[f"{name}_mbps"] = round(
+            analysis.throughput.average, 4
+        )
+    benchmark.extra_info["fhss_initial_delay"] = round(
+        fhss.initial_packet_delay, 4
+    )

@@ -1,0 +1,50 @@
+"""X4: failure injection — EBL under a lossy radio channel.
+
+The paper assumes a clean channel.  Real DSRC links fade: this bench
+sweeps an injected frame-loss rate on the trial-3 configuration and
+checks that 802.11's ARQ keeps the warning service alive — degraded
+throughput, but a warning delay still inside the safety budget — until
+loss rates get extreme.
+"""
+
+import pytest
+
+from repro.core.analysis import analyze_trial
+from repro.core.runner import run_trial
+from repro.core.trials import TRIAL_3
+
+
+def run_sweep():
+    rates = (0.0, 0.1, 0.2, 0.4)
+    out = []
+    for rate in rates:
+        config = TRIAL_3.with_overrides(
+            name=f"loss{int(rate * 100)}",
+            duration=20.0,
+            error_rate=rate,
+            enable_trace=False,
+        )
+        out.append((rate, analyze_trial(run_trial(config))))
+    return out
+
+
+def test_bench_ext_lossy_channel(benchmark):
+    points = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    by_rate = dict(points)
+    clean = by_rate[0.0]
+    # Throughput degrades monotonically-ish with loss; never to zero.
+    assert by_rate[0.4].throughput.average < clean.throughput.average
+    for rate, analysis in points:
+        assert analysis.throughput.average > 0, f"stream died at {rate}"
+        # The initial warning still consumes <25% of the gap — ARQ holds
+        # the safety property under heavy fading.
+        assert analysis.safety.gap_fraction_consumed < 0.25
+
+    for rate, analysis in points:
+        benchmark.extra_info[f"loss{int(rate * 100)}_mbps"] = round(
+            analysis.throughput.average, 4
+        )
+        benchmark.extra_info[f"loss{int(rate * 100)}_initial_delay"] = round(
+            analysis.initial_packet_delay, 4
+        )

@@ -1,0 +1,36 @@
+"""X2: extension — 802.11 packet-size sweep.
+
+The paper's conclusion proposes 1,000-byte packets "as a basis for work
+to determine ideal 802.11-based IVC MANET packet sizes".  This bench
+runs that study: throughput must rise with packet size (per-packet
+overhead amortises), while the initial-warning delay stays small at
+every size.
+"""
+
+import pytest
+
+from repro.experiments.sweeps import packet_size_sweep
+
+
+def test_bench_ext_packet_size_sweep(benchmark):
+    sizes = (250, 500, 1000, 1500)
+    points = benchmark.pedantic(
+        packet_size_sweep,
+        kwargs={"sizes": sizes, "duration": 20.0},
+        rounds=1,
+        iterations=1,
+    )
+
+    assert len(points) == len(sizes)
+    throughputs = [p.throughput_mbps for p in points]
+    # Larger packets amortise MAC overhead: monotone non-decreasing within
+    # tolerance, and the largest clearly beats the smallest.
+    assert throughputs[-1] > 1.5 * throughputs[0]
+    # Safety holds across the sweep under 802.11.
+    for point in points:
+        assert point.gap_fraction < 0.05
+
+    for size, point in zip(sizes, points):
+        benchmark.extra_info[f"pkt{size}_mbps"] = round(
+            point.throughput_mbps, 4
+        )

@@ -1,0 +1,38 @@
+"""X1: extension — platoon-size sweep (the paper's future work: "a larger
+and more complex vehicular configuration").
+
+Sweeps vehicles-per-platoon under 802.11 and checks the qualitative
+expectation: per-platoon throughput is shared across more flows, while
+the initial warning stays fast enough for safety at every size.
+"""
+
+import pytest
+
+from repro.experiments.sweeps import platoon_size_sweep
+
+
+def test_bench_ext_platoon_size(benchmark):
+    points = benchmark.pedantic(
+        platoon_size_sweep,
+        kwargs={"sizes": (2, 3, 5), "duration": 20.0},
+        rounds=1,
+        iterations=1,
+    )
+
+    assert len(points) == 3
+    by_size = {int(p.parameter): p for p in points}
+    # Every configuration still delivers traffic and a timely warning.
+    for size, point in by_size.items():
+        assert point.throughput_mbps > 0
+        assert point.gap_fraction < 0.10, f"platoon of {size} unsafe"
+    # More followers -> total platoon throughput does not grow linearly
+    # (flows share the lead's channel time) — it stays in the same band.
+    assert by_size[5].throughput_mbps < 3 * by_size[2].throughput_mbps
+
+    for size, point in by_size.items():
+        benchmark.extra_info[f"size{size}_mbps"] = round(
+            point.throughput_mbps, 4
+        )
+        benchmark.extra_info[f"size{size}_initial_delay"] = round(
+            point.initial_packet_delay, 4
+        )

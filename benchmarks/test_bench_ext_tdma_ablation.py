@@ -1,0 +1,46 @@
+"""X3: ablation — sensitivity to the TDMA frame size.
+
+The paper never publishes its ns-2 ``Mac/Tdma`` frame configuration
+(DESIGN.md §5); our default is 16 slots.  This bench sweeps the slot
+count and verifies every TDMA-side claim is robust to the choice:
+access delay scales with the frame, and at *every* point the TDMA
+initial warning is slower than 802.11's.
+"""
+
+import pytest
+
+from benchmarks.conftest import cached_trial
+from repro.core.analysis import analyze_trial
+from repro.experiments.sweeps import tdma_slot_ablation
+
+
+def test_bench_ext_tdma_ablation(benchmark):
+    slot_counts = (6, 16, 32)
+    points = benchmark.pedantic(
+        tdma_slot_ablation,
+        kwargs={"slot_counts": slot_counts, "duration": 20.0},
+        rounds=1,
+        iterations=1,
+    )
+
+    assert len(points) == len(slot_counts)
+    initial_delays = [p.initial_packet_delay for p in points]
+    # Access delay grows with the frame size.
+    assert initial_delays == sorted(initial_delays)
+    # Throughput shrinks as the frame grows (one packet per frame).
+    throughputs = [p.throughput_mbps for p in points]
+    assert throughputs == sorted(throughputs, reverse=True)
+
+    # Robustness of S5/S6: 802.11 beats TDMA at every frame size.
+    dcf = analyze_trial(cached_trial("trial3"))
+    for point in points:
+        assert point.initial_packet_delay > dcf.initial_packet_delay
+        assert point.steady_state_delay > dcf.steady_state_delay
+
+    for count, point in zip(slot_counts, points):
+        benchmark.extra_info[f"slots{count}_initial_delay"] = round(
+            point.initial_packet_delay, 4
+        )
+        benchmark.extra_info[f"slots{count}_mbps"] = round(
+            point.throughput_mbps, 4
+        )

@@ -1,0 +1,37 @@
+"""F1-2: Figs. 1-2 — platoon movement through the intersection.
+
+Regenerates the scenario-geometry snapshots the paper illustrates:
+platoon 1 approaching vertically, platoon 2 stopped then departing
+horizontally.  The benchmark measures scenario construction plus the
+kinematic position queries.
+"""
+
+import pytest
+
+from repro.experiments.figures import fig_1_2_platoon_movement
+
+
+def test_bench_fig01_02_platoon_movement(benchmark):
+    frames = benchmark(fig_1_2_platoon_movement)
+    assert len(frames) == 4
+    start, onset, arrival, after = frames
+
+    # Fig. 1: platoon 1 south of the intersection moving north; platoon 2
+    # stopped at the intersection.
+    assert start.platoon1[0][1] < -200.0
+    assert start.platoon2[0] == pytest.approx((-15.0, 0.0))
+
+    # Fig. 2: platoon 1 at the stop line; platoon 2 departing east.
+    assert arrival.platoon1[0][1] == pytest.approx(-15.0, abs=1.0)
+    assert after.platoon2[0][0] > arrival.platoon2[0][0]
+
+    # Formation (25 m spacing) is preserved throughout.
+    for frame in frames:
+        gaps = [
+            frame.platoon1[i][1] - frame.platoon1[i + 1][1]
+            for i in range(len(frame.platoon1) - 1)
+        ]
+        for gap in gaps:
+            assert gap == pytest.approx(25.0, abs=1e-6)
+
+    benchmark.extra_info["arrival_frame_time"] = arrival.time

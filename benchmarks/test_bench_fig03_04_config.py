@@ -1,0 +1,55 @@
+"""F3-4: Figs. 3-4 — fixed-parameter configuration and the throughput
+recorder.
+
+The paper's figures 3 and 4 are Tcl listings: the fixed-parameter node
+configuration (DropTail/PriQueue + AODV) and the ``record`` procedure
+sampling ``$tcpsink set bytes_`` every interval.  Their Python
+equivalents are :class:`TrialConfig`/:class:`EblScenario` and
+:class:`ThroughputRecorder`; this bench measures both.
+"""
+
+import pytest
+
+from repro.core.scenario import EblScenario
+from repro.core.trials import TRIAL_1
+from repro.des import Environment
+from repro.net.queues import PriQueue
+from repro.routing.aodv import Aodv
+from repro.stats.recorder import ThroughputRecorder
+
+
+def test_bench_fig03_fixed_parameter_configuration(benchmark):
+    """Building the configured stack (Fig. 3's node-config block)."""
+
+    def build():
+        return EblScenario(TRIAL_1.with_overrides(enable_trace=False))
+
+    scenario = benchmark(build)
+    node = scenario.vehicles[0].node
+    # The paper's fixed parameters, as configured by Fig. 3's Tcl.
+    assert isinstance(node.ifq, PriQueue)           # Queue/DropTail/PriQueue
+    assert isinstance(node.routing, Aodv)           # -adhocrouting AODV
+    assert scenario.config.speed_mps == pytest.approx(22.35, abs=0.05)
+
+
+def test_bench_fig04_throughput_recorder(benchmark):
+    """The Fig. 4 record proc: sample a byte counter every 0.5 s."""
+
+    def record_run():
+        env = Environment()
+        counter = {"bytes": 0}
+
+        def traffic(env):
+            while True:
+                yield env.timeout(0.01)
+                counter["bytes"] += 1250  # steady 1 Mbit/s
+
+        env.process(traffic(env))
+        recorder = ThroughputRecorder(env, lambda: counter["bytes"], 0.5)
+        recorder.start()
+        env.run(until=60.0)
+        return recorder.series()
+
+    series = benchmark(record_run)
+    assert len(series) == 119  # samples at 0.5s..59.5s (first is baseline)
+    assert series.summary().average == pytest.approx(1.0, rel=0.05)

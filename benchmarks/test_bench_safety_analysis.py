@@ -1,0 +1,32 @@
+"""A3: §III.E stopping-distance safety assessment.
+
+The paper's reconstructed numbers: under TDMA the initial warning takes
+≈0.24 s — at 50 mph the trailing vehicle covers ≈5.4 m, over 20% of the
+25 m gap.  Under 802.11 it takes ≈0.02 s — ≈0.45 m, under 2%.
+"""
+
+import pytest
+
+from repro.experiments.tables import safety_table
+
+
+def test_bench_safety_analysis(benchmark, trial1_result, trial3_result):
+    rows = benchmark(safety_table, [trial1_result, trial3_result])
+
+    tdma = next(r for r in rows if r.mac_type == "tdma")
+    dcf = next(r for r in rows if r.mac_type == "802.11")
+
+    # TDMA: a large share of the separating distance is consumed.
+    assert tdma.gap_fraction > 0.10
+    # 802.11: a tiny share — "likely enough time to stop".
+    assert dcf.gap_fraction < 0.05
+    assert dcf.initial_delay < tdma.initial_delay
+    # Both leave a positive margin at 25 m in the paper's simple model.
+    assert dcf.is_safe
+
+    benchmark.extra_info["tdma_initial_delay_s"] = round(tdma.initial_delay, 4)
+    benchmark.extra_info["tdma_distance_m"] = round(tdma.distance_travelled, 2)
+    benchmark.extra_info["tdma_gap_pct"] = round(100 * tdma.gap_fraction, 1)
+    benchmark.extra_info["dcf_initial_delay_s"] = round(dcf.initial_delay, 4)
+    benchmark.extra_info["dcf_distance_m"] = round(dcf.distance_travelled, 2)
+    benchmark.extra_info["dcf_gap_pct"] = round(100 * dcf.gap_fraction, 1)

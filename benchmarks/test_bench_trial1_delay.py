@@ -1,0 +1,39 @@
+"""T1-delay: Figs. 5-6 + §III.B.1 — Trial 1 (1000 B, TDMA) one-way delay.
+
+Measures the full trial-1 simulation and regenerates the delay series:
+overall + transient for platoon 1, and the per-vehicle avg/min/max rows.
+"""
+
+import pytest
+
+from benchmarks.conftest import bench_config
+from repro.core.runner import run_trial
+from repro.experiments.figures import fig_5_6_trial1_delay
+from repro.experiments.tables import delay_stats_table
+
+
+def test_bench_trial1_delay(benchmark):
+    result = benchmark.pedantic(
+        run_trial, args=(bench_config("trial1"),), rounds=1, iterations=1
+    )
+
+    figure = fig_5_6_trial1_delay(result)
+    # Fig. 5/6 shape: a transient, then a positive steady-state level.
+    assert figure.transient_packets > 0
+    assert figure.steady_state_level > 0.1  # TDMA slot waiting dominates
+
+    rows = delay_stats_table(result)
+    assert len(rows) == 4
+    for row in rows:
+        assert 0 < row.minimum <= row.average <= row.maximum
+
+    # The paper's §III.B.1 table: print-equivalent numbers recorded.
+    for row in rows:
+        key = f"p{row.platoon}_{row.vehicle}"
+        benchmark.extra_info[f"{key}_avg"] = round(row.average, 4)
+        benchmark.extra_info[f"{key}_min"] = round(row.minimum, 4)
+        benchmark.extra_info[f"{key}_max"] = round(row.maximum, 4)
+    benchmark.extra_info["steady_state_delay"] = round(
+        figure.steady_state_level, 4
+    )
+    benchmark.extra_info["transient_packets"] = figure.transient_packets

@@ -1,0 +1,41 @@
+"""T1-thr: Fig. 7 + §III.B.2 — Trial 1 throughput and its 95% CI.
+
+Uses the session-cached trial-1 run and measures the analysis pipeline:
+throughput series summary plus the Student-t confidence interval — the
+paper's "within X Mbps of the observed value, with a 95% confidence and
+Y% relative precision" numbers.
+"""
+
+import pytest
+
+from repro.experiments.figures import fig_7_trial1_throughput
+from repro.experiments.tables import throughput_stats_table
+
+
+def test_bench_trial1_throughput(benchmark, trial1_result):
+    def analyse():
+        figure = fig_7_trial1_throughput(trial1_result)
+        rows = throughput_stats_table(trial1_result)
+        return figure, rows
+
+    figure, rows = benchmark(analyse)
+
+    # Fig. 7 shape: idle until the vehicles start communicating, then a
+    # roughly constant rate.
+    onset = trial1_result.scenario.brake_onset_time
+    assert figure.traffic_start == pytest.approx(onset, abs=2.0)
+    summary = figure.series.summary()
+    assert summary.minimum == 0.0  # the leading idle period
+    assert summary.maximum > 0.0
+
+    platoon1 = rows[0]
+    assert platoon1.average_mbps > 0
+    # §III.B.2: tight CI (the paper reports ~5% relative precision).
+    assert platoon1.relative_precision < 0.15
+
+    benchmark.extra_info["avg_mbps"] = round(platoon1.average_mbps, 4)
+    benchmark.extra_info["max_mbps"] = round(platoon1.maximum_mbps, 4)
+    benchmark.extra_info["ci_half_width"] = round(platoon1.ci_half_width, 5)
+    benchmark.extra_info["relative_precision_pct"] = round(
+        100 * platoon1.relative_precision, 2
+    )

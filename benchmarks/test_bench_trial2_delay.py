@@ -1,0 +1,32 @@
+"""T2-delay: Figs. 8-9 + §III.C.1 — Trial 2 (500 B, TDMA) one-way delay.
+
+Measures the full trial-2 simulation.  The headline check is the paper's
+"somewhat unexpected" finding: delay is *unchanged* relative to trial 1,
+because the TDMA frame time — not packet size — dominates.
+"""
+
+import pytest
+
+from benchmarks.conftest import bench_config, cached_trial
+from repro.core.runner import run_trial
+from repro.experiments.figures import fig_8_9_trial2_delay
+
+
+def test_bench_trial2_delay(benchmark):
+    result = benchmark.pedantic(
+        run_trial, args=(bench_config("trial2"),), rounds=1, iterations=1
+    )
+
+    figure = fig_8_9_trial2_delay(result)
+    assert figure.transient_packets > 0
+    assert figure.steady_state_level > 0.1
+
+    # §III.E / S3: essentially unchanged vs trial 1.
+    trial1 = cached_trial("trial1")
+    level1 = trial1.platoon1.combined_delays().steady_state_level()
+    assert figure.steady_state_level == pytest.approx(level1, rel=0.15)
+
+    benchmark.extra_info["steady_state_delay"] = round(
+        figure.steady_state_level, 4
+    )
+    benchmark.extra_info["trial1_steady_state_delay"] = round(level1, 4)

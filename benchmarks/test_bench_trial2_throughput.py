@@ -1,0 +1,33 @@
+"""T2-thr: Fig. 10 + §III.C.2 — Trial 2 throughput and its 95% CI.
+
+The headline check: throughput roughly halves relative to trial 1 (fewer
+bytes per TDMA frame), the paper's expected packet-size effect.
+"""
+
+import pytest
+
+from repro.experiments.figures import fig_10_trial2_throughput
+from repro.experiments.tables import throughput_stats_table
+
+
+def test_bench_trial2_throughput(benchmark, trial1_result, trial2_result):
+    def analyse():
+        figure = fig_10_trial2_throughput(trial2_result)
+        rows = throughput_stats_table(trial2_result)
+        return figure, rows
+
+    figure, rows = benchmark(analyse)
+
+    platoon1 = rows[0]
+    t1_avg = trial1_result.platoon1.throughput.summary().average
+    ratio = platoon1.average_mbps / t1_avg
+
+    # §III.E / S2: reduced packet size halves throughput.
+    assert 0.4 <= ratio <= 0.65
+    assert platoon1.relative_precision < 0.15
+
+    benchmark.extra_info["avg_mbps"] = round(platoon1.average_mbps, 4)
+    benchmark.extra_info["throughput_ratio_vs_trial1"] = round(ratio, 3)
+    benchmark.extra_info["relative_precision_pct"] = round(
+        100 * platoon1.relative_precision, 2
+    )

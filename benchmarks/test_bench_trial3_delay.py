@@ -1,0 +1,41 @@
+"""T3-delay: Figs. 11-14 + §III.D.1 — Trial 3 (1000 B, 802.11) delay for
+both platoons.
+
+The headline check is S5: 802.11's one-way delay is significantly less
+than TDMA's — "the primary source of delay with trial 1 is associated
+with the use of TDMA".
+"""
+
+import pytest
+
+from benchmarks.conftest import bench_config, cached_trial
+from repro.core.runner import run_trial
+from repro.experiments.figures import fig_11_14_trial3_delay
+from repro.experiments.tables import delay_stats_table
+
+
+def test_bench_trial3_delay(benchmark):
+    result = benchmark.pedantic(
+        run_trial, args=(bench_config("trial3"),), rounds=1, iterations=1
+    )
+
+    fig_p1, fig_p2 = fig_11_14_trial3_delay(result)
+    # Figs. 11-14 cover both platoons, each with transient + steady state.
+    for figure in (fig_p1, fig_p2):
+        assert figure.transient_packets > 0
+        assert figure.steady_state_level > 0
+
+    # S5: much smaller delay than TDMA.
+    trial1 = cached_trial("trial1")
+    tdma_level = trial1.platoon1.combined_delays().steady_state_level()
+    assert fig_p1.steady_state_level < tdma_level / 2
+
+    rows = delay_stats_table(result)
+    assert len(rows) == 4
+    for row in rows:
+        key = f"p{row.platoon}_{row.vehicle}"
+        benchmark.extra_info[f"{key}_avg"] = round(row.average, 4)
+    benchmark.extra_info["steady_state_delay"] = round(
+        fig_p1.steady_state_level, 4
+    )
+    benchmark.extra_info["tdma_steady_state_delay"] = round(tdma_level, 4)

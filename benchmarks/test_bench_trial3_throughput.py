@@ -1,0 +1,33 @@
+"""T3-thr: Fig. 15 + §III.D.2 — Trial 3 throughput and its 95% CI.
+
+The headline check is S4: 802.11 throughput is significantly greater
+than TDMA's ("packets are sent with a greater frequency when using
+802.11, as compared to using TDMA").
+"""
+
+import pytest
+
+from repro.experiments.figures import fig_15_trial3_throughput
+from repro.experiments.tables import throughput_stats_table
+
+
+def test_bench_trial3_throughput(benchmark, trial1_result, trial3_result):
+    def analyse():
+        figure = fig_15_trial3_throughput(trial3_result)
+        rows = throughput_stats_table(trial3_result)
+        return figure, rows
+
+    figure, rows = benchmark(analyse)
+
+    platoon1 = rows[0]
+    t1_avg = trial1_result.platoon1.throughput.summary().average
+    gain = platoon1.average_mbps / t1_avg
+
+    assert gain > 2.0  # S4: significantly greater
+    assert platoon1.relative_precision < 0.15
+
+    benchmark.extra_info["avg_mbps"] = round(platoon1.average_mbps, 4)
+    benchmark.extra_info["throughput_gain_vs_tdma"] = round(gain, 2)
+    benchmark.extra_info["relative_precision_pct"] = round(
+        100 * platoon1.relative_precision, 2
+    )

@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""DSRC-style reliability study: the warning-latency *tail* under fading.
+
+Safety engineering cares about p95/p99 latency, not averages: a warning
+that is usually 20 ms but occasionally 800 ms still kills.  This study
+sweeps channel loss (independent and bursty at the same long-run rate)
+over the trial-3 configuration and reports:
+
+* the latency tail (p50/p95/p99) of the platoon-1 warning stream,
+* packet delivery ratio from the trace,
+* the fleet's energy cost per delivered megabit.
+
+Usage::
+
+    python examples/dsrc_reliability_study.py [duration_seconds]
+"""
+
+import sys
+
+from repro.core.runner import run_trial
+from repro.core.trials import TRIAL_3
+from repro.stats.metrics import packet_delivery_ratio
+
+LOSS_RATES = (0.0, 0.1, 0.2, 0.3)
+
+
+def study_point(duration, rate, bursts):
+    config = TRIAL_3.with_overrides(
+        name=f"loss{int(rate * 100)}{'b' if bursts else 'u'}",
+        duration=duration,
+        error_rate=rate,
+        error_bursts=bursts,
+    )
+    result = run_trial(config)
+    delays = result.platoon1.combined_delays()
+    tail = delays.percentiles((50.0, 95.0, 99.0)) if len(delays) else {}
+    pdr = packet_delivery_ratio(result.tracer.records, ptypes=("tcp",))
+    return {
+        "tail": tail,
+        "pdr": pdr.ratio,
+        "joules_per_mbit": result.energy_per_delivered_megabit(),
+        "delivered": sum(
+            f.delivered_segments for f in result.platoon1.flows
+        ),
+    }
+
+
+def main() -> None:
+    duration = float(sys.argv[1]) if len(sys.argv) > 1 else 25.0
+    print("DSRC reliability study on the EBL scenario (802.11, 1000 B)\n")
+    header = (f"{'loss':>5s} {'model':>8s} {'p50 ms':>8s} {'p95 ms':>8s} "
+              f"{'p99 ms':>8s} {'PDR':>7s} {'J/Mbit':>8s} {'pkts':>6s}")
+    print(header)
+    print("-" * len(header))
+    for rate in LOSS_RATES:
+        models = [(False, "uniform")] if rate == 0 else [
+            (False, "uniform"), (True, "bursty")
+        ]
+        for bursts, label in models:
+            point = study_point(duration, rate, bursts)
+            tail = point["tail"]
+            print(f"{rate:5.0%} {label:>8s} "
+                  f"{tail.get(50.0, float('nan')) * 1000:8.1f} "
+                  f"{tail.get(95.0, float('nan')) * 1000:8.1f} "
+                  f"{tail.get(99.0, float('nan')) * 1000:8.1f} "
+                  f"{point['pdr']:7.1%} "
+                  f"{point['joules_per_mbit']:8.2f} "
+                  f"{point['delivered']:6d}")
+
+    print("\nReading: the p99 tail stretches as the channel degrades even "
+          "while ARQ keeps PDR high — retransmissions hide losses from "
+          "the delivery ratio but not from tail latency — and the energy "
+          "cost per delivered bit climbs steadily with every retry.")
+
+
+if __name__ == "__main__":
+    main()

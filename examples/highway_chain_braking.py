@@ -1,0 +1,128 @@
+#!/usr/bin/env python
+"""Highway chain-braking: what Extended Brake Lights actually buy you.
+
+A column of vehicles cruises at 50 mph with 25 m gaps.  The lead slams
+the brakes.  Two worlds are compared:
+
+* **Conventional brake lights** — each driver reacts only to the vehicle
+  directly ahead, so reaction delays accumulate down the chain.
+* **EBL over 802.11** — the lead's single radio warning (UDP broadcast,
+  :class:`repro.core.ebl.EblWarningApp`) reaches every follower at radio
+  latency, so everyone starts braking almost simultaneously.
+
+The script simulates the radio network to get real per-vehicle warning
+delays, then runs the constant-deceleration kinematics to report each
+gap's closing margin.
+
+Usage::
+
+    python examples/highway_chain_braking.py [n_vehicles]
+"""
+
+import sys
+
+from repro.core.ebl import EBL_WARNING_PORT, EblWarningApp
+from repro.core.vehicle import Vehicle
+from repro.des import Environment
+from repro.mac.dcf import Dcf80211Mac
+from repro.mobility.kinematics import BrakingProfile, mph_to_mps
+from repro.mobility.waypoint import WaypointMobility
+from repro.net.channel import WirelessChannel
+from repro.net.node import Node
+from repro.routing.static_routing import StaticRouting
+from repro.transport.udp import UdpSink
+
+SPEED = mph_to_mps(50.0)
+GAP = 25.0
+DECEL = 6.0
+#: Driver perception-reaction time to a visible brake light.
+EYE_REACTION = 1.2
+#: Reaction time to an in-car EBL alarm (automated pre-charge).
+EBL_REACTION = 0.3
+BRAKE_TIME = 2.0  # when the lead brakes
+
+
+def build_column(env, n):
+    channel = WirelessChannel(env)
+    vehicles, sinks = [], []
+    for i in range(n):
+        mobility = WaypointMobility(0.0, -GAP * i)
+        node = Node(env, i, mobility, channel,
+                    lambda e, a, p, q: Dcf80211Mac(e, a, p, q))
+        StaticRouting(node)
+        vehicle = Vehicle(env, node, mobility)
+        vehicles.append(vehicle)
+        if i > 0:
+            sinks.append(UdpSink(node, EBL_WARNING_PORT))
+    return vehicles, sinks
+
+
+def measure_warning_delays(n):
+    """Simulate the radio network; return per-follower warning delay."""
+    env = Environment()
+    vehicles, sinks = build_column(env, n)
+    EblWarningApp(vehicles[0], packet_size=200, repeat_interval=0.1)
+    for v in vehicles:
+        v.node.start()
+    vehicles[0].schedule_braking(BRAKE_TIME, None)
+    env.run(until=BRAKE_TIME + 3.0)
+    delays = []
+    for sink in sinks:
+        initial = [r for r in sink.records]
+        delays.append(initial[0].delay if initial else float("inf"))
+    return delays
+
+
+def chain_margins(reaction_delays):
+    """Closing margin of each gap given per-vehicle brake-onset delays.
+
+    Vehicle i starts braking ``reaction_delays[i]`` seconds after the
+    lead; all decelerate identically, so the gap shrinks by
+    v * (onset_i - onset_{i-1}) between neighbours.
+    """
+    margins = []
+    onsets = [0.0] + reaction_delays
+    for ahead, behind in zip(onsets, onsets[1:]):
+        closed = SPEED * (behind - ahead)
+        margins.append(GAP - closed)
+    return margins
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 6
+    print(f"{n}-vehicle column at 50 mph, {GAP:.0f} m gaps; "
+          f"lead brakes at t={BRAKE_TIME:.0f}s\n")
+
+    # World 1: conventional brake lights — reaction chains.
+    conventional = [EYE_REACTION * (i + 1) for i in range(n - 1)]
+
+    # World 2: EBL — one simulated radio warning to everyone.
+    print("Simulating the 802.11 EBL warning broadcast ...")
+    radio_delays = measure_warning_delays(n)
+    ebl = [d + EBL_REACTION for d in radio_delays]
+
+    print(f"\n{'gap':>4s} {'conventional':>24s} {'EBL over 802.11':>24s}")
+    print(f"{'':4s} {'onset s':>10s} {'margin m':>13s} "
+          f"{'onset s':>10s} {'margin m':>13s}")
+    conv_margins = chain_margins(conventional)
+    ebl_margins = chain_margins(ebl)
+    for i in range(n - 1):
+        conv_mark = "CRASH" if conv_margins[i] <= 0 else ""
+        ebl_mark = "CRASH" if ebl_margins[i] <= 0 else ""
+        print(f"{i + 1:4d} {conventional[i]:10.2f} "
+              f"{conv_margins[i]:9.2f} {conv_mark:>4s}"
+              f"{ebl[i]:10.2f} {ebl_margins[i]:9.2f} {ebl_mark:>4s}")
+
+    crashes_conv = sum(1 for m in conv_margins if m <= 0)
+    crashes_ebl = sum(1 for m in ebl_margins if m <= 0)
+    profile = BrakingProfile(t0=0.0, initial_speed=SPEED, deceleration=DECEL)
+    print(f"\nBraking from {SPEED:.1f} m/s takes {profile.total_distance:.0f} m "
+          f"over {profile.stop_time:.1f} s.")
+    print(f"Conventional lights: {crashes_conv} rear-end collision(s); "
+          f"EBL: {crashes_ebl}.")
+    print("The radio warning removes the accumulating perception delay — "
+          "this is the EBL value proposition the paper quantifies.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""The paper's full study: all three trials, the §III.E comparisons, and
+the safety table — the complete Extended Brake Lights evaluation.
+
+Usage::
+
+    python examples/intersection_ebl.py [duration_seconds]
+"""
+
+import sys
+
+from repro.core.analysis import (
+    analyze_trial,
+    compare_mac_type,
+    compare_packet_size,
+)
+from repro.core.runner import run_trial
+from repro.core.trials import TRIAL_1, TRIAL_2, TRIAL_3
+from repro.experiments.plots import render_scenario_map
+from repro.experiments.tables import safety_table
+
+
+def main() -> None:
+    duration = float(sys.argv[1]) if len(sys.argv) > 1 else 40.0
+
+    results = {}
+    for config in (TRIAL_1, TRIAL_2, TRIAL_3):
+        config = config.with_overrides(duration=duration)
+        print(f"Running {config.name} "
+              f"({config.packet_size} B, {config.mac_type}) ...")
+        results[config.name] = run_trial(config)
+
+    scenario = results["trial1"].scenario
+    print("\n=== Scenario (Figs. 1-2): before and after the arrival ===")
+    print(render_scenario_map(scenario, 0.0))
+    print()
+    print(render_scenario_map(scenario, scenario.arrival_time + 4.0))
+
+    print("\n=== Per-trial results (platoon 1) ===")
+    header = (f"{'trial':8s} {'MAC':7s} {'pkt':>5s} {'thr Mbps':>9s} "
+              f"{'steady s':>9s} {'init s':>7s} {'CI rel%':>8s}")
+    print(header)
+    print("-" * len(header))
+    for name, result in results.items():
+        a = analyze_trial(result)
+        cfg = result.config
+        print(f"{name:8s} {cfg.mac_type:7s} {cfg.packet_size:5d} "
+              f"{a.throughput.average:9.4f} {a.steady_state_delay:9.4f} "
+              f"{a.initial_packet_delay:7.3f} "
+              f"{100 * a.confidence.relative_precision:8.1f}")
+
+    print("\n=== §III.E comparisons ===")
+    ps = compare_packet_size(results["trial1"], results["trial2"])
+    print(f"packet size (1000B → 500B): throughput x{ps.throughput_ratio:.2f}"
+          f", delay x{ps.delay_ratio:.2f} "
+          f"(expected: throughput halves, delay unchanged)")
+    mac = compare_mac_type(results["trial1"], results["trial3"])
+    print(f"MAC type (TDMA → 802.11):   throughput x{mac.throughput_ratio:.1f}"
+          f", delay x{mac.delay_ratio:.2f} "
+          f"(expected: 802.11 wins both)")
+
+    print("\n=== Safety: stopping-distance assessment ===")
+    for row in safety_table(list(results.values())):
+        print(f"{row.trial:8s} {row.mac_type:7s} initial delay "
+              f"{row.initial_delay * 1000:7.1f} ms → "
+              f"{row.distance_travelled:5.2f} m "
+              f"({100 * row.gap_fraction:5.1f}% of gap), "
+              f"margin {row.stopping_margin:5.2f} m "
+              f"{'SAFE' if row.is_safe else 'UNSAFE'}")
+
+    print("\nConclusion (matches the paper): 802.11 with ~1000 B packets is "
+          "the practical basis for IVC MANET emergency braking; TDMA's slot "
+          "waiting consumes a large share of the reaction window.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""MAC ablation: TDMA vs 802.11 vs plain CSMA on the same EBL scenario.
+
+Extends the paper's trial-1-vs-trial-3 comparison with the CSMA
+baseline, showing where each channel-access mechanism sits on the
+throughput/delay trade-off, and sweeps the TDMA frame size to expose the
+slot-waiting mechanism the paper blames for TDMA's delay.
+
+Usage::
+
+    python examples/mac_comparison.py [duration_seconds]
+"""
+
+import sys
+
+from repro.core.analysis import analyze_trial
+from repro.core.runner import run_trial
+from repro.core.trials import TRIAL_1
+
+DURATION = float(sys.argv[1]) if len(sys.argv) > 1 else 25.0
+
+
+def run_mac(mac_type: str, **overrides):
+    config = TRIAL_1.with_overrides(
+        name=f"ebl-{mac_type}",
+        mac_type=mac_type,
+        duration=DURATION,
+        enable_trace=False,
+        **overrides,
+    )
+    return analyze_trial(run_trial(config))
+
+
+def bar(value: float, scale: float, width: int = 40) -> str:
+    filled = min(width, int(round(width * value / scale)))
+    return "#" * filled
+
+
+def main() -> None:
+    print("Running the EBL intersection scenario under three MACs ...\n")
+    analyses = {
+        "802.11": run_mac("802.11"),
+        "edca": run_mac("edca"),
+        "csma": run_mac("csma"),
+        "tdma-16": run_mac("tdma", tdma_num_slots=16),
+        "tdma-6": run_mac("tdma", tdma_num_slots=6),
+        "tdma-32": run_mac("tdma", tdma_num_slots=32),
+    }
+
+    max_thr = max(a.throughput.average for a in analyses.values())
+    print("Throughput (platoon 1, Mbps):")
+    for name, a in analyses.items():
+        print(f"  {name:8s} {a.throughput.average:7.4f} "
+              f"{bar(a.throughput.average, max_thr)}")
+
+    max_delay = max(a.steady_state_delay for a in analyses.values())
+    print("\nSteady-state one-way delay (s):")
+    for name, a in analyses.items():
+        print(f"  {name:8s} {a.steady_state_delay:7.4f} "
+              f"{bar(a.steady_state_delay, max_delay)}")
+
+    print("\nInitial brake-warning delay and gap consumed at 50 mph:")
+    for name, a in analyses.items():
+        s = a.safety
+        print(f"  {name:8s} {s.initial_delay * 1000:7.1f} ms "
+              f"→ {100 * s.gap_fraction_consumed:5.1f}% of the 25 m gap")
+
+    print("\nReading: TDMA's delay scales directly with its frame size "
+          "(slot waiting), CSMA sits between, and 802.11 DCF delivers both "
+          "the highest throughput and the fastest warning — the paper's "
+          "recommendation.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+"""repro — a pure-Python IVC MANET simulator reproducing the Extended
+Brake Lights (EBL) study of Watson, Pellerito, Gladden & Fu (2007).
+
+The package is layered bottom-up:
+
+* :mod:`repro.des` — discrete-event simulation kernel.
+* :mod:`repro.net` — packets, queues, channel, node/stack plumbing.
+* :mod:`repro.phy` — radio and propagation models.
+* :mod:`repro.mac` — 802.11 DCF, TDMA, and CSMA MAC layers.
+* :mod:`repro.routing` — AODV plus baseline routing protocols.
+* :mod:`repro.transport` — TCP/UDP agents and traffic applications.
+* :mod:`repro.mobility` — waypoint/platoon vehicle motion.
+* :mod:`repro.trace` — ns-2-style trace emission and parsing.
+* :mod:`repro.stats` — delay/throughput metrics and confidence analysis.
+* :mod:`repro.core` — the EBL scenario, trials, runner, and safety analysis.
+* :mod:`repro.experiments` — per-figure/table reproduction harness.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

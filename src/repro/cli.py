@@ -1,0 +1,243 @@
+"""Command-line interface: ``ebl-sim``.
+
+Subcommands::
+
+    ebl-sim run --trial 1 [--duration 60] [--trace out.tr]
+    ebl-sim report [--duration 40] [--output EXPERIMENTS.md]
+    ebl-sim sweep {packet-size,platoon-size,tdma-slots}
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.core.analysis import analyze_trial
+from repro.core.runner import run_trial
+from repro.core.trials import TRIAL_1, TRIAL_2, TRIAL_3
+from repro.experiments.figures import (
+    fig_5_6_trial1_delay,
+    fig_7_trial1_throughput,
+    fig_8_9_trial2_delay,
+    fig_10_trial2_throughput,
+    fig_11_14_trial3_delay,
+    fig_15_trial3_throughput,
+)
+from repro.experiments.plots import render_delay_figure, render_throughput_figure
+from repro.experiments.replication import replicate
+from repro.experiments.report import generate_report, render_markdown
+from repro.experiments.sweeps import (
+    packet_size_sweep,
+    platoon_size_sweep,
+    tdma_slot_ablation,
+)
+
+TRIALS = {1: TRIAL_1, 2: TRIAL_2, 3: TRIAL_3}
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    config = TRIALS[args.trial].with_overrides(duration=args.duration)
+    result = run_trial(config)
+    analysis = analyze_trial(result)
+    print(f"== {config.name}: {config.packet_size}B over {config.mac_type} ==")
+    for index, summary in sorted(analysis.delay_by_follower.items()):
+        name = {1: "middle", 2: "trailing"}.get(index, f"follower {index}")
+        print(f"  {name:9s} delay: {summary}")
+    print(f"  steady-state delay : {analysis.steady_state_delay:.4f} s")
+    print(f"  transient          : {analysis.transient_packets} packets")
+    print(f"  throughput         : {analysis.throughput}")
+    print(f"  confidence         : {analysis.confidence}")
+    print(f"  initial pkt delay  : {analysis.initial_packet_delay:.4f} s")
+    safety = analysis.safety
+    print(
+        f"  safety             : {safety.distance_during_delay:.2f} m travelled "
+        f"({100 * safety.gap_fraction_consumed:.1f}% of the "
+        f"{safety.separation:.0f} m gap)"
+    )
+    if args.trace and result.tracer is not None:
+        with open(args.trace, "w") as stream:
+            count = result.tracer.write(stream)
+        print(f"  trace              : {count} lines -> {args.trace}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    report = generate_report(duration=args.duration)
+    text = render_markdown(report)
+    if args.output:
+        with open(args.output, "w") as stream:
+            stream.write(text)
+        print(f"report written to {args.output}")
+    else:
+        print(text)
+    return 0 if report.all_claims_hold else 1
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    sweeps = {
+        "packet-size": packet_size_sweep,
+        "platoon-size": platoon_size_sweep,
+        "tdma-slots": tdma_slot_ablation,
+    }
+    points = sweeps[args.kind]()
+    print(f"{'param':>8} {'Mbps':>8} {'steady s':>9} {'initial s':>9} {'gap %':>7}")
+    for p in points:
+        print(
+            f"{p.parameter:8.0f} {p.throughput_mbps:8.4f} "
+            f"{p.steady_state_delay:9.4f} {p.initial_packet_delay:9.4f} "
+            f"{100 * p.gap_fraction:7.1f}"
+        )
+    return 0
+
+
+def _cmd_nam(args: argparse.Namespace) -> int:
+    from repro.core.scenario import EblScenario
+    from repro.trace.nam import NamTraceWriter
+
+    config = TRIALS[args.trial].with_overrides(
+        duration=args.duration, enable_trace=False
+    )
+    scenario = EblScenario(config)
+    scenario.run()
+    with open(args.output, "w") as stream:
+        nam = NamTraceWriter(stream, width=600.0, height=600.0)
+        nodes = [v.node for v in scenario.vehicles]
+        nam.write_header([n.address for n in nodes])
+        nam.animate(nodes, duration=config.duration, interval=args.interval)
+    print(f"NAM animation trace written to {args.output} "
+          f"(the paper launched nam on this format after every run)")
+    return 0
+
+
+def _cmd_replicate(args: argparse.Namespace) -> int:
+    config = TRIALS[args.trial].with_overrides(duration=args.duration)
+    seeds = list(range(1, args.replications + 1))
+    print(f"Replicating {config.name} across seeds {seeds} ...")
+    result = replicate(config, seeds=seeds)
+    print(f"  throughput    : {result.throughput_ci}")
+    print(f"  steady delay  : {result.delay_ci}")
+    print(f"  initial delay : {result.initial_delay_ci}")
+    print(
+        "  (mean within-run precision "
+        f"{100 * result.mean_within_run_precision():.1f}% — the paper's "
+        "single-run CI method)"
+    )
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    import os
+
+    config = TRIALS[args.trial].with_overrides(duration=args.duration)
+    result = run_trial(config)
+
+    outputs: list[tuple[str, str]] = []
+    if args.trial == 1:
+        fig = fig_5_6_trial1_delay(result)
+        outputs.append(("fig05_trial1_delay.txt", render_delay_figure(fig)))
+        outputs.append(
+            ("fig06_trial1_delay_transient.txt",
+             render_delay_figure(fig, transient=True))
+        )
+        outputs.append(
+            ("fig07_trial1_throughput.txt",
+             render_throughput_figure(fig_7_trial1_throughput(result)))
+        )
+    elif args.trial == 2:
+        fig = fig_8_9_trial2_delay(result)
+        outputs.append(("fig08_trial2_delay.txt", render_delay_figure(fig)))
+        outputs.append(
+            ("fig09_trial2_delay_transient.txt",
+             render_delay_figure(fig, transient=True))
+        )
+        outputs.append(
+            ("fig10_trial2_throughput.txt",
+             render_throughput_figure(fig_10_trial2_throughput(result)))
+        )
+    else:
+        fig_p1, fig_p2 = fig_11_14_trial3_delay(result)
+        outputs.append(("fig11_trial3_delay_p1.txt", render_delay_figure(fig_p1)))
+        outputs.append(
+            ("fig12_trial3_delay_p1_transient.txt",
+             render_delay_figure(fig_p1, transient=True))
+        )
+        outputs.append(("fig13_trial3_delay_p2.txt", render_delay_figure(fig_p2)))
+        outputs.append(
+            ("fig14_trial3_delay_p2_transient.txt",
+             render_delay_figure(fig_p2, transient=True))
+        )
+        outputs.append(
+            ("fig15_trial3_throughput.txt",
+             render_throughput_figure(fig_15_trial3_throughput(result)))
+        )
+
+    os.makedirs(args.output_dir, exist_ok=True)
+    for filename, text in outputs:
+        path = os.path.join(args.output_dir, filename)
+        with open(path, "w") as stream:
+            stream.write(text + "\n")
+        print(f"wrote {path}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``ebl-sim`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="ebl-sim",
+        description="Extended Brake Lights IVC MANET simulation",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="run one trial and print its analysis")
+    run_p.add_argument("--trial", type=int, choices=(1, 2, 3), default=1)
+    run_p.add_argument("--duration", type=float, default=60.0)
+    run_p.add_argument("--trace", help="write the packet trace to this file")
+    run_p.set_defaults(func=_cmd_run)
+
+    rep_p = sub.add_parser("report", help="run all trials, check every claim")
+    rep_p.add_argument("--duration", type=float, default=40.0)
+    rep_p.add_argument("--output", help="write markdown to this file")
+    rep_p.set_defaults(func=_cmd_report)
+
+    sweep_p = sub.add_parser("sweep", help="run a parameter sweep")
+    sweep_p.add_argument(
+        "kind", choices=("packet-size", "platoon-size", "tdma-slots")
+    )
+    sweep_p.set_defaults(func=_cmd_sweep)
+
+    rep2_p = sub.add_parser(
+        "replicate", help="independent multi-seed replications of a trial"
+    )
+    rep2_p.add_argument("--trial", type=int, choices=(1, 2, 3), default=3)
+    rep2_p.add_argument("--duration", type=float, default=30.0)
+    rep2_p.add_argument("--replications", type=int, default=5)
+    rep2_p.set_defaults(func=_cmd_replicate)
+
+    fig_p = sub.add_parser(
+        "figures", help="render a trial's figures as text charts"
+    )
+    fig_p.add_argument("--trial", type=int, choices=(1, 2, 3), default=1)
+    fig_p.add_argument("--duration", type=float, default=40.0)
+    fig_p.add_argument("--output-dir", default="figures")
+    fig_p.set_defaults(func=_cmd_figures)
+
+    nam_p = sub.add_parser(
+        "nam", help="write a NAM animation trace for a trial"
+    )
+    nam_p.add_argument("--trial", type=int, choices=(1, 2, 3), default=1)
+    nam_p.add_argument("--duration", type=float, default=30.0)
+    nam_p.add_argument("--interval", type=float, default=0.5)
+    nam_p.add_argument("--output", default="out.nam")
+    nam_p.set_defaults(func=_cmd_nam)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

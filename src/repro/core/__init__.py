@@ -1,0 +1,46 @@
+"""The Extended Brake Lights (EBL) study: scenario, trials, and analysis.
+
+This package is the paper's contribution layer.  It builds the
+two-platoon intersection scenario on top of the network substrate,
+defines the three trials (packet size × MAC type), runs them, and
+reproduces the paper's delay/throughput/confidence/safety analyses.
+"""
+
+from repro.core.attacks import JammerApp, fhss_effective_loss
+from repro.core.analysis import (
+    TrialAnalysis,
+    analyze_trial,
+    compare_mac_type,
+    compare_packet_size,
+)
+from repro.core.ebl import EblApplication, EblFlow, EblWarningApp
+from repro.core.runner import FlowResult, PlatoonResult, TrialResult, run_trial
+from repro.core.safety import SafetyAssessment, assess_safety
+from repro.core.scenario import EblScenario, ScenarioGeometry
+from repro.core.trials import TRIAL_1, TRIAL_2, TRIAL_3, TrialConfig
+from repro.core.vehicle import Vehicle
+
+__all__ = [
+    "EblApplication",
+    "EblFlow",
+    "EblScenario",
+    "EblWarningApp",
+    "FlowResult",
+    "JammerApp",
+    "PlatoonResult",
+    "fhss_effective_loss",
+    "SafetyAssessment",
+    "ScenarioGeometry",
+    "TRIAL_1",
+    "TRIAL_2",
+    "TRIAL_3",
+    "TrialAnalysis",
+    "TrialConfig",
+    "TrialResult",
+    "Vehicle",
+    "analyze_trial",
+    "assess_safety",
+    "compare_mac_type",
+    "compare_packet_size",
+    "run_trial",
+]

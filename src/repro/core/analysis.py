@@ -1,0 +1,125 @@
+"""Cross-trial analysis (paper §III.E).
+
+Reproduces the two comparisons the paper draws — packet size (trials 1 v
+2) and MAC type (trials 1 v 3) — and packages per-trial summaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.runner import TrialResult
+from repro.core.safety import SafetyAssessment, assess_safety
+from repro.stats.confidence import ConfidenceResult
+from repro.stats.summary import SeriesSummary
+
+
+@dataclass
+class TrialAnalysis:
+    """The metrics the paper reports for one trial's first platoon."""
+
+    name: str
+    #: avg/min/max one-way delay per follower (1 = middle, 2 = trailing).
+    delay_by_follower: dict[int, SeriesSummary]
+    #: Steady-state delay level after the transient.
+    steady_state_delay: float
+    #: Packets in the transient state (the "until approximately packet N").
+    transient_packets: int
+    #: avg/min/max platoon throughput, Mbps.
+    throughput: SeriesSummary
+    #: 95% CI over the active-phase throughput samples.
+    confidence: ConfidenceResult
+    #: When the platoon's traffic first appears in the throughput series.
+    traffic_start: float
+    #: Delay of the initial brake-warning packet (fastest follower).
+    initial_packet_delay: float
+    #: §III.E stopping-distance assessment of that delay.
+    safety: SafetyAssessment
+
+
+def analyze_trial(result: TrialResult, platoon_id: int = 1) -> TrialAnalysis:
+    """Compute the paper's §III.B-D metrics for one trial."""
+    platoon = result.platoon(platoon_id)
+    delay_by_follower = {
+        flow.follower_index: flow.delay_summary()
+        for flow in platoon.flows
+        if len(flow.delays)
+    }
+    combined = platoon.combined_delays()
+    initial = min(
+        (flow.delays.initial_delay for flow in platoon.flows if len(flow.delays)),
+        default=float("nan"),
+    )
+    steady = combined.steady_state_level() if len(combined) else float("nan")
+    return TrialAnalysis(
+        name=result.config.name,
+        delay_by_follower=delay_by_follower,
+        steady_state_delay=steady,
+        transient_packets=combined.transient_length(),
+        throughput=platoon.throughput.summary(),
+        confidence=platoon.throughput_confidence(),
+        traffic_start=platoon.throughput.start_of_traffic(),
+        initial_packet_delay=initial,
+        safety=assess_safety(
+            initial,
+            speed=result.config.speed_mps,
+            separation=result.config.spacing,
+        ),
+    )
+
+
+@dataclass
+class ComparisonResult:
+    """Ratio-based comparison between two trials (same platoon)."""
+
+    baseline: str
+    other: str
+    throughput_ratio: float
+    delay_ratio: float
+    baseline_throughput: float
+    other_throughput: float
+    baseline_delay: float
+    other_delay: float
+
+
+def _compare(a: TrialAnalysis, b: TrialAnalysis) -> ComparisonResult:
+    return ComparisonResult(
+        baseline=a.name,
+        other=b.name,
+        throughput_ratio=(
+            b.throughput.average / a.throughput.average
+            if a.throughput.average
+            else float("inf")
+        ),
+        delay_ratio=(
+            b.steady_state_delay / a.steady_state_delay
+            if a.steady_state_delay
+            else float("inf")
+        ),
+        baseline_throughput=a.throughput.average,
+        other_throughput=b.throughput.average,
+        baseline_delay=a.steady_state_delay,
+        other_delay=b.steady_state_delay,
+    )
+
+
+def compare_packet_size(
+    trial1: TrialResult, trial2: TrialResult
+) -> ComparisonResult:
+    """Trials 1 v 2: packet-size impact.
+
+    Expected shape: throughput roughly halves (ratio ≈ payload ratio);
+    one-way delay essentially unchanged (TDMA frame time dominates).
+    """
+    return _compare(analyze_trial(trial1), analyze_trial(trial2))
+
+
+def compare_mac_type(
+    trial1: TrialResult, trial3: TrialResult
+) -> ComparisonResult:
+    """Trials 1 v 3: MAC-type impact.
+
+    Expected shape: 802.11 throughput significantly greater; 802.11
+    one-way delay significantly smaller (no slot waiting).
+    """
+    return _compare(analyze_trial(trial1), analyze_trial(trial3))

@@ -1,0 +1,181 @@
+"""The Extended Brake Lights application.
+
+Two flavours:
+
+* :class:`EblApplication` — the paper's configuration: when the lead
+  vehicle brakes, it opens one TCP stream per trailing vehicle and keeps
+  them saturated until the brakes release.  The *initial* packet of each
+  episode is what the safety analysis measures.
+* :class:`EblWarningApp` — an extension: connectionless single-hop UDP
+  broadcast warnings carrying an :class:`~repro.net.headers.EblHeader`,
+  the style later DSRC standards adopted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.vehicle import Vehicle
+from repro.net.addresses import BROADCAST
+from repro.net.headers import EblHeader
+from repro.net.packet import PacketType
+from repro.transport.apps import CbrApp
+from repro.transport.tcp import TCP_VARIANTS, TcpAgent, TcpParams, TcpSink
+from repro.transport.udp import UdpAgent
+
+#: Port the lead's per-follower TCP senders start at.
+EBL_SENDER_PORT_BASE = 100
+#: Port every follower's TCP sink listens on.
+EBL_SINK_PORT = 200
+#: Port for broadcast UDP warnings (extension app).
+EBL_WARNING_PORT = 300
+
+
+@dataclass
+class EblFlow:
+    """One lead→follower stream."""
+
+    sender: TcpAgent
+    sink: TcpSink
+    follower: Vehicle
+
+    @property
+    def delivered_segments(self) -> int:
+        """Segments the follower has received in order."""
+        return self.sink.delivered_segments
+
+
+class EblApplication:
+    """Brake-gated TCP streams from a platoon lead to its followers."""
+
+    def __init__(
+        self,
+        lead: Vehicle,
+        followers: list[Vehicle],
+        packet_size: int = 1000,
+        tcp_window: int = 20,
+        cbr_interval: Optional[float] = None,
+        tcp_variant: str = "reno",
+    ) -> None:
+        """Create the flows (they stay paused until the lead brakes).
+
+        Parameters
+        ----------
+        lead / followers:
+            The platoon's vehicles.
+        packet_size:
+            TCP segment payload, bytes (the trial's variable parameter).
+        tcp_window:
+            Sender window in segments (ns-2 ``window_``).
+        cbr_interval:
+            When given, data is offered at one packet per interval (CBR
+            over TCP); when None the stream is a saturated FTP transfer.
+        tcp_variant:
+            Sender congestion-control flavour: "reno", "tahoe", or
+            "newreno".
+        """
+        if not followers:
+            raise ValueError("EBL needs at least one trailing vehicle")
+        if tcp_variant not in TCP_VARIANTS:
+            raise ValueError(
+                f"unknown tcp_variant {tcp_variant!r}; "
+                f"expected one of {sorted(TCP_VARIANTS)}"
+            )
+        sender_cls = TCP_VARIANTS[tcp_variant]
+        self.lead = lead
+        self.followers = followers
+        self.packet_size = packet_size
+        self.cbr_interval = cbr_interval
+        self.flows: list[EblFlow] = []
+        self._cbr_apps: list[CbrApp] = []
+        self.episodes = 0
+        env = lead.env
+        for index, follower in enumerate(followers):
+            params = TcpParams(segment_size=packet_size, window=tcp_window)
+            sender = sender_cls(
+                lead.node, EBL_SENDER_PORT_BASE + index, params=params
+            )
+            sink = TcpSink(follower.node, EBL_SINK_PORT)
+            sender.connect(follower.address, EBL_SINK_PORT)
+            sink.connect(lead.address, sender.local_port)
+            sender.pause()  # silent until the brakes come on
+            self.flows.append(EblFlow(sender=sender, sink=sink, follower=follower))
+        lead.on_brake_change(self._brake_changed)
+        self.env = env
+
+    def _brake_changed(self, braking: bool) -> None:
+        if braking:
+            self.episodes += 1
+            for flow in self.flows:
+                flow.sender.resume()
+                if self.cbr_interval is None:
+                    flow.sender.send_forever()
+                else:
+                    cbr = CbrApp(
+                        flow.sender,
+                        packet_size=self.packet_size,
+                        interval=self.cbr_interval,
+                    )
+                    cbr.start(at=self.env.now)
+                    self._cbr_apps.append(cbr)
+        else:
+            for cbr in self._cbr_apps:
+                cbr.stop()
+            self._cbr_apps.clear()
+            for flow in self.flows:
+                flow.sender.pause()
+
+    @property
+    def sinks(self) -> list[TcpSink]:
+        """All follower sinks (for platoon-level throughput recording)."""
+        return [flow.sink for flow in self.flows]
+
+
+class EblWarningApp:
+    """Broadcast UDP brake warnings (extension; DSRC-style beaconing).
+
+    On every brake application the vehicle broadcasts an initial warning
+    immediately, then repeats at ``repeat_interval`` until release.
+    """
+
+    def __init__(
+        self,
+        vehicle: Vehicle,
+        packet_size: int = 200,
+        repeat_interval: float = 0.1,
+        deceleration: float = 4.0,
+    ) -> None:
+        if repeat_interval <= 0:
+            raise ValueError("repeat_interval must be positive")
+        self.vehicle = vehicle
+        self.env = vehicle.env
+        self.packet_size = packet_size
+        self.repeat_interval = repeat_interval
+        self.deceleration = deceleration
+        self.agent = UdpAgent(vehicle.node, EBL_WARNING_PORT)
+        self.agent.connect(BROADCAST, EBL_WARNING_PORT)
+        self.warnings_sent = 0
+        self._episode = 0
+        vehicle.on_brake_change(self._brake_changed)
+
+    def _brake_changed(self, braking: bool) -> None:
+        if braking:
+            self._episode += 1
+            self.env.process(self._beacon(self._episode))
+
+    def _beacon(self, episode: int):
+        seq = 0
+        while self.vehicle.braking and self._episode == episode:
+            header = EblHeader(
+                vehicle=self.vehicle.address,
+                warning_seq=seq,
+                initial=(seq == 0),
+                deceleration=self.deceleration,
+            )
+            self.agent.send(
+                self.packet_size, headers={"ebl": header}, ptype=PacketType.EBL
+            )
+            self.warnings_sent += 1
+            seq += 1
+            yield self.env.timeout(self.repeat_interval)

@@ -1,0 +1,181 @@
+"""Run trials and collect the paper's result bundle."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.scenario import EblScenario, ScenarioGeometry
+from repro.core.trials import TrialConfig
+from repro.stats.confidence import ConfidenceResult, mean_confidence_interval
+from repro.stats.delay import DelaySeries
+from repro.stats.summary import SeriesSummary
+from repro.stats.throughput import ThroughputSeries
+from repro.trace.writer import Tracer
+
+
+@dataclass
+class FlowResult:
+    """Per lead→follower flow: the delay data behind Figs. 5/6/8/9/11-14."""
+
+    src: int
+    dst: int
+    #: Position of the receiver in the platoon (1 = middle, 2 = trailing).
+    follower_index: int
+    delays: DelaySeries
+    delivered_segments: int
+    duplicates: int
+
+    def delay_summary(self) -> SeriesSummary:
+        """avg/min/max one-way delay for this receiving vehicle."""
+        return self.delays.summary()
+
+
+@dataclass
+class PlatoonResult:
+    """Per-platoon results: delay per follower plus the throughput series."""
+
+    platoon_id: int
+    flows: list[FlowResult]
+    throughput: ThroughputSeries
+    communicating_from: float
+    communicating_until: Optional[float]
+
+    def flow_to(self, follower_index: int) -> FlowResult:
+        """The flow to the given follower (1 = middle, 2 = trailing)."""
+        for flow in self.flows:
+            if flow.follower_index == follower_index:
+                return flow
+        raise KeyError(f"no flow to follower {follower_index}")
+
+    def combined_delays(self) -> DelaySeries:
+        """All follower delays merged in reception order (platoon plot)."""
+        samples = sorted(
+            (s for flow in self.flows for s in flow.delays),
+            key=lambda s: s.received_at,
+        )
+        merged = [
+            type(samples[0])(
+                packet_id=i, sent_at=s.sent_at, received_at=s.received_at
+            )
+            for i, s in enumerate(samples)
+        ] if samples else []
+        return DelaySeries(merged)
+
+    def throughput_confidence(self, level: float = 0.95) -> ConfidenceResult:
+        """The paper's CI analysis over the active-phase throughput samples."""
+        active = [
+            s.mbps
+            for s in self.throughput.samples
+            if s.time >= self.communicating_from
+            and (
+                self.communicating_until is None
+                or s.time <= self.communicating_until
+            )
+        ]
+        return mean_confidence_interval(active, level=level)
+
+
+@dataclass
+class TrialResult:
+    """Everything one trial produces."""
+
+    config: TrialConfig
+    platoon1: PlatoonResult
+    platoon2: PlatoonResult
+    tracer: Optional[Tracer]
+    scenario: EblScenario = field(repr=False, default=None)
+
+    def platoon(self, platoon_id: int) -> PlatoonResult:
+        """Platoon result by id (1 or 2)."""
+        if platoon_id == 1:
+            return self.platoon1
+        if platoon_id == 2:
+            return self.platoon2
+        raise KeyError(f"no platoon {platoon_id}")
+
+    def energy_by_node(self) -> dict[int, dict[str, float]]:
+        """Per-node energy breakdown in joules (empty if not tracked)."""
+        if self.scenario is None:
+            return {}
+        breakdown = {}
+        for vehicle in self.scenario.vehicles:
+            energy = vehicle.node.phy.energy
+            if energy is not None:
+                breakdown[vehicle.address] = energy.breakdown()
+        return breakdown
+
+    def energy_per_delivered_megabit(self) -> float:
+        """Fleet joules consumed per delivered data megabit."""
+        energies = self.energy_by_node()
+        if not energies:
+            return float("nan")
+        total_joules = sum(sum(parts.values()) for parts in energies.values())
+        delivered_bits = sum(
+            flow.delivered_segments * self.config.packet_size * 8
+            for platoon in (self.platoon1, self.platoon2)
+            for flow in platoon.flows
+        )
+        if delivered_bits == 0:
+            return float("inf")
+        return total_joules / (delivered_bits / 1e6)
+
+
+def run_trial(
+    config: TrialConfig,
+    geometry: Optional[ScenarioGeometry] = None,
+) -> TrialResult:
+    """Build, run, and harvest one trial."""
+    scenario = EblScenario(config, geometry=geometry)
+    scenario.run()
+    return harvest(scenario)
+
+
+def harvest(scenario: EblScenario) -> TrialResult:
+    """Collect results from a scenario that has already been run."""
+    config = scenario.config
+
+    def platoon_result(
+        platoon_id: int, app, recorder, comm_from: float, comm_until
+    ) -> PlatoonResult:
+        flows = []
+        for index, flow in enumerate(app.flows, start=1):
+            flows.append(
+                FlowResult(
+                    src=flow.sender.address,
+                    dst=flow.sink.address,
+                    follower_index=index,
+                    delays=DelaySeries.from_records(flow.sink.records),
+                    delivered_segments=flow.sink.delivered_segments,
+                    duplicates=flow.sink.duplicates,
+                )
+            )
+        return PlatoonResult(
+            platoon_id=platoon_id,
+            flows=flows,
+            throughput=recorder.series(),
+            communicating_from=comm_from,
+            communicating_until=comm_until,
+        )
+
+    platoon1 = platoon_result(
+        1,
+        scenario.app1,
+        scenario.recorder1,
+        scenario.brake_onset_time,
+        None,
+    )
+    platoon2 = platoon_result(
+        2,
+        scenario.app2,
+        scenario.recorder2,
+        0.0,
+        scenario.departure_time,
+    )
+    return TrialResult(
+        config=config,
+        platoon1=platoon1,
+        platoon2=platoon2,
+        tracer=scenario.tracer,
+        scenario=scenario,
+    )

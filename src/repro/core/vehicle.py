@@ -1,0 +1,81 @@
+"""A vehicle: a network node plus motion and braking state."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.mobility.waypoint import WaypointMobility
+from repro.net.node import Node
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.des.core import Environment
+
+
+class Vehicle:
+    """One simulated automobile.
+
+    The vehicle couples its :class:`~repro.net.node.Node` (the radio
+    stack) with a braking schedule.  Per the paper's EBL semantics,
+    "communication between the vehicles occurs only when the vehicles are
+    braking or stopped" — the EBL application subscribes to the braking
+    callbacks to gate its transmissions.
+    """
+
+    def __init__(
+        self, env: "Environment", node: Node, mobility: WaypointMobility
+    ) -> None:
+        self.env = env
+        self.node = node
+        self.mobility = mobility
+        self.braking = False
+        self._brake_listeners: list[Callable[[bool], None]] = []
+        #: (start, end) pairs of scheduled braking episodes (end None = open).
+        self.brake_schedule: list[tuple[float, Optional[float]]] = []
+
+    @property
+    def address(self) -> int:
+        """The vehicle's network address."""
+        return self.node.address
+
+    @property
+    def position(self) -> tuple[float, float]:
+        """Current position, metres."""
+        return self.mobility.position(self.env.now)
+
+    @property
+    def speed(self) -> float:
+        """Current scalar speed, m/s."""
+        return self.mobility.speed(self.env.now)
+
+    def on_brake_change(self, listener: Callable[[bool], None]) -> None:
+        """Subscribe to braking-state transitions (True = brakes applied)."""
+        self._brake_listeners.append(listener)
+
+    def schedule_braking(self, start: float, end: Optional[float] = None) -> None:
+        """Schedule a braking episode from ``start`` to ``end`` (None=open)."""
+        if end is not None and end <= start:
+            raise ValueError("braking episode must end after it starts")
+        self.brake_schedule.append((start, end))
+        self.env.process(self._braking_episode(start, end))
+
+    def _braking_episode(self, start: float, end: Optional[float]):
+        if start > self.env.now:
+            yield self.env.timeout(start - self.env.now)
+        self._set_braking(True)
+        if end is not None:
+            yield self.env.timeout(end - self.env.now)
+            self._set_braking(False)
+
+    def _set_braking(self, braking: bool) -> None:
+        if braking == self.braking:
+            return
+        self.braking = braking
+        for listener in self._brake_listeners:
+            listener(braking)
+
+    def is_braking_at(self, t: float) -> bool:
+        """Whether the schedule has the brakes applied at time ``t``."""
+        for start, end in self.brake_schedule:
+            if start <= t and (end is None or t < end):
+                return True
+        return False

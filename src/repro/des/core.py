@@ -1,0 +1,134 @@
+"""The simulation environment and event loop."""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+from itertools import count
+from typing import Any, Iterable, Optional, Union
+
+from repro.des.events import AllOf, AnyOf, Event, Timeout, NORMAL
+from repro.des.exceptions import SimulationError, StopSimulation
+from repro.des.process import Process, ProcessGenerator
+
+
+class Environment:
+    """Execution environment for a discrete-event simulation.
+
+    Time is a float in simulated seconds and only advances when
+    :meth:`run` or :meth:`step` processes events.
+
+    Parameters
+    ----------
+    initial_time:
+        Simulated time at which the environment starts.
+    """
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._eid = count()
+        self._active_proc: Optional[Process] = None
+
+    def __repr__(self) -> str:
+        return f"<Environment(now={self._now}, pending={len(self._queue)})>"
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed, if any."""
+        return self._active_proc
+
+    # -- event factories ---------------------------------------------------
+
+    def event(self) -> Event:
+        """Create a new untriggered :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create a :class:`Timeout` firing ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: ProcessGenerator) -> Process:
+        """Start a new :class:`Process` running ``generator``."""
+        return Process(self, generator)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Condition that fires when all ``events`` have fired."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Condition that fires when any of ``events`` has fired."""
+        return AnyOf(self, events)
+
+    # -- scheduling & stepping ---------------------------------------------
+
+    def schedule(
+        self, event: Event, priority: int = NORMAL, delay: float = 0.0
+    ) -> None:
+        """Enqueue ``event`` to fire ``delay`` seconds from now."""
+        heappush(self._queue, (self._now + delay, priority, next(self._eid), event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if queue is empty."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the single next event, advancing simulated time."""
+        try:
+            self._now, _, _, event = heappop(self._queue)
+        except IndexError:
+            raise SimulationError("no scheduled events") from None
+
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+
+        if event._ok is False and not event.defused:
+            # Nobody handled the failure: surface it to the caller of run().
+            exc = event._value
+            raise exc
+
+    def run(self, until: Union[None, float, Event] = None) -> Any:
+        """Run the simulation.
+
+        Parameters
+        ----------
+        until:
+            ``None`` — run until the event queue is exhausted;
+            a number — run until simulated time reaches it;
+            an :class:`Event` — run until that event is processed and return
+            its value.
+        """
+        if until is not None and not isinstance(until, Event):
+            at = float(until)
+            if at < self._now:
+                raise ValueError(f"until ({at}) must not be before now ({self._now})")
+            until = Event(self)
+            until._ok = True
+            until._value = None
+            self.schedule(until, priority=0 - 1, delay=at - self._now)
+
+        if isinstance(until, Event):
+            if until.callbacks is None:  # already processed
+                return until.value
+            until.callbacks.append(self._stop_callback)
+
+        try:
+            while self._queue:
+                self.step()
+        except StopSimulation as stop:
+            return stop.value
+
+        if isinstance(until, Event) and not until.triggered:
+            raise SimulationError(
+                "run() finished with the 'until' event untriggered"
+            )
+        return None
+
+    @staticmethod
+    def _stop_callback(event: Event) -> None:
+        raise StopSimulation(event.value)

@@ -1,0 +1,235 @@
+"""Event primitives for the discrete-event kernel.
+
+Events move through three states: *untriggered* (no value, not scheduled),
+*triggered* (scheduled on the environment's queue but callbacks not yet run),
+and *processed* (callbacks have run).  Processes wait on events by yielding
+them; the kernel resumes the process with the event's value (or throws the
+event's exception into it if the event failed).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Optional
+
+from repro.des.exceptions import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.des.core import Environment
+
+#: Scheduling priority for events that must run before same-time normal events
+#: (used e.g. for interrupts).
+URGENT = 0
+#: Default scheduling priority.
+NORMAL = 1
+
+_PENDING = object()
+
+
+class Event:
+    """A one-shot occurrence processes can wait for.
+
+    Parameters
+    ----------
+    env:
+        The environment the event belongs to.
+    """
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = _PENDING
+        self._ok: Optional[bool] = None
+        #: Set to True by a waiting process to mark a failure as handled,
+        #: suppressing the "unhandled failed event" error.
+        self.defused = False
+
+    def __repr__(self) -> str:
+        return f"<{self.__class__.__name__} object at {id(self):#x}>"
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled to fire."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once the event's callbacks have been executed."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event fired successfully (only valid once triggered)."""
+        if self._ok is None:
+            raise SimulationError(f"{self!r} has not yet been triggered")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value (its payload, or the failure exception)."""
+        if self._value is _PENDING:
+            raise SimulationError(f"{self!r} has not yet been triggered")
+        return self._value
+
+    def succeed(self, value: Any = None, priority: int = NORMAL) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._value is not _PENDING:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.env.schedule(self, priority=priority)
+        return self
+
+    def fail(self, exception: BaseException, priority: int = NORMAL) -> "Event":
+        """Trigger the event as failed with ``exception``."""
+        if self._value is not _PENDING:
+            raise SimulationError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"{exception!r} is not an exception")
+        self._ok = False
+        self._value = exception
+        self.env.schedule(self, priority=priority)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Trigger this event with the state (ok/value) of another event.
+
+        Used as a callback to chain events together.
+        """
+        if event._ok:
+            self.succeed(event._value)
+        else:
+            self.fail(event._value)
+
+    def __and__(self, other: "Event") -> "Condition":
+        return Condition(self.env, Condition.all_events, [self, other])
+
+    def __or__(self, other: "Event") -> "Condition":
+        return Condition(self.env, Condition.any_events, [self, other])
+
+
+class Timeout(Event):
+    """An event that fires after a fixed simulated delay."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        super().__init__(env)
+        self._delay = delay
+        self._ok = True
+        self._value = value
+        env.schedule(self, priority=NORMAL, delay=delay)
+
+    @property
+    def delay(self) -> float:
+        """The delay this timeout was created with."""
+        return self._delay
+
+
+class Initialize(Event):
+    """Internal event that starts a :class:`~repro.des.process.Process`."""
+
+    def __init__(self, env: "Environment", process: Any) -> None:
+        super().__init__(env)
+        self.callbacks = [process._resume]
+        self._ok = True
+        self._value = None
+        env.schedule(self, priority=URGENT)
+
+
+class Interruption(Event):
+    """Internal urgent event delivering an interrupt to a process."""
+
+    def __init__(self, process: Any, cause: Any) -> None:
+        from repro.des.exceptions import Interrupt
+
+        super().__init__(process.env)
+        if process.triggered:
+            raise SimulationError("cannot interrupt a terminated process")
+        if process is self.env.active_process:
+            raise SimulationError("a process is not allowed to interrupt itself")
+        self.callbacks = [self._interrupt]
+        self._ok = False
+        self._value = Interrupt(cause)
+        self.defused = True
+        self._process = process
+        self.env.schedule(self, priority=URGENT)
+
+    def _interrupt(self, event: "Event") -> None:
+        if self._process.triggered:
+            return  # process terminated before the interrupt was delivered
+        # Detach the process from whatever it is currently waiting on.
+        target = self._process._target
+        if target is not None and target.callbacks is not None:
+            try:
+                target.callbacks.remove(self._process._resume)
+            except ValueError:
+                pass
+        self._process._resume(self)
+
+
+class Condition(Event):
+    """Composite event over several sub-events (``&`` / ``|``)."""
+
+    def __init__(
+        self,
+        env: "Environment",
+        evaluate: Callable[[list["Event"], int], bool],
+        events: Iterable["Event"],
+    ) -> None:
+        super().__init__(env)
+        self._evaluate = evaluate
+        self._events = list(events)
+        self._count = 0
+
+        for event in self._events:
+            if event.env is not env:
+                raise ValueError("events belong to different environments")
+
+        for event in self._events:
+            if event.callbacks is None:  # already processed
+                self._check(event)
+            else:
+                event.callbacks.append(self._check)
+
+        if self._value is _PENDING and self._evaluate(self._events, self._count):
+            self.succeed(self._collect_values())
+
+    def _collect_values(self) -> dict["Event", Any]:
+        """Values of all processed-and-ok sub-events, in definition order."""
+        return {
+            e: e._value for e in self._events if e.callbacks is None and e._ok
+        }
+
+    def _check(self, event: "Event") -> None:
+        if self._value is not _PENDING:
+            return
+        self._count += 1
+        if not event._ok:
+            event.defused = True
+            self.fail(event._value)
+        elif self._evaluate(self._events, self._count):
+            self.succeed(self._collect_values())
+
+    @staticmethod
+    def all_events(events: list["Event"], count: int) -> bool:
+        """Evaluate to done when every sub-event has fired."""
+        return len(events) == count
+
+    @staticmethod
+    def any_events(events: list["Event"], count: int) -> bool:
+        """Evaluate to done when at least one sub-event has fired."""
+        return count > 0 or not events
+
+
+class AllOf(Condition):
+    """Condition that fires once all of ``events`` have fired."""
+
+    def __init__(self, env: "Environment", events: Iterable["Event"]) -> None:
+        super().__init__(env, Condition.all_events, events)
+
+
+class AnyOf(Condition):
+    """Condition that fires once any of ``events`` has fired."""
+
+    def __init__(self, env: "Environment", events: Iterable["Event"]) -> None:
+        super().__init__(env, Condition.any_events, events)

@@ -1,0 +1,37 @@
+"""Exception types raised by the discrete-event kernel."""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+class SimulationError(Exception):
+    """Base class for errors raised by the simulation kernel itself."""
+
+
+class StopSimulation(Exception):
+    """Raised internally to halt :meth:`Environment.run` at an event.
+
+    Carries the value of the event that caused the stop so ``run(until=...)``
+    can return it.
+    """
+
+    def __init__(self, value: Any = None) -> None:
+        super().__init__(value)
+        self.value = value
+
+
+class Interrupt(Exception):
+    """Thrown into a process when another process interrupts it.
+
+    The interrupting party may attach an arbitrary ``cause`` describing why
+    the interrupt happened (e.g. a preempting transmission on a radio).
+    """
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+
+    @property
+    def cause(self) -> Any:
+        """The cause passed to :meth:`Process.interrupt`."""
+        return self.args[0]

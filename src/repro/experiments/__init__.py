@@ -1,0 +1,60 @@
+"""Per-figure/table reproduction harness.
+
+Every figure and table in the paper's evaluation maps to a function
+here (see DESIGN.md §4 for the index); ``benchmarks/`` wraps these in
+pytest-benchmark targets, and :mod:`repro.experiments.report` renders the
+paper-vs-measured record behind EXPERIMENTS.md.
+"""
+
+from repro.experiments.figures import (
+    fig_1_2_platoon_movement,
+    fig_5_6_trial1_delay,
+    fig_7_trial1_throughput,
+    fig_8_9_trial2_delay,
+    fig_10_trial2_throughput,
+    fig_11_14_trial3_delay,
+    fig_15_trial3_throughput,
+)
+from repro.experiments.analytic import BianchiModel, TdmaModel
+from repro.experiments.plots import (
+    ascii_plot,
+    render_delay_figure,
+    render_throughput_figure,
+)
+from repro.experiments.replication import ReplicationResult, replicate
+from repro.experiments.report import ExperimentReport, generate_report
+from repro.experiments.sweeps import (
+    packet_size_sweep,
+    platoon_size_sweep,
+    tdma_slot_ablation,
+)
+from repro.experiments.tables import (
+    delay_stats_table,
+    safety_table,
+    throughput_stats_table,
+)
+
+__all__ = [
+    "BianchiModel",
+    "ExperimentReport",
+    "ReplicationResult",
+    "TdmaModel",
+    "ascii_plot",
+    "render_delay_figure",
+    "render_throughput_figure",
+    "replicate",
+    "delay_stats_table",
+    "fig_1_2_platoon_movement",
+    "fig_5_6_trial1_delay",
+    "fig_7_trial1_throughput",
+    "fig_8_9_trial2_delay",
+    "fig_10_trial2_throughput",
+    "fig_11_14_trial3_delay",
+    "fig_15_trial3_throughput",
+    "generate_report",
+    "packet_size_sweep",
+    "platoon_size_sweep",
+    "safety_table",
+    "tdma_slot_ablation",
+    "throughput_stats_table",
+]

@@ -1,0 +1,151 @@
+"""Data series behind each figure in the paper.
+
+Each ``fig_*`` function returns the plottable series for the
+corresponding figure.  Figures 3 and 4 in the paper are Tcl code
+listings, not data; their Python equivalents are
+:class:`repro.core.trials.TrialConfig` and
+:class:`repro.stats.recorder.ThroughputRecorder` respectively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.runner import TrialResult, run_trial
+from repro.core.scenario import EblScenario, ScenarioGeometry
+from repro.core.trials import TRIAL_1, TRIAL_2, TRIAL_3, TrialConfig
+from repro.stats.delay import DelaySeries
+from repro.stats.throughput import ThroughputSeries
+
+
+@dataclass
+class DelayFigure:
+    """One delay-vs-packet-ID figure (overall plus transient inset)."""
+
+    title: str
+    overall: DelaySeries
+    transient: DelaySeries
+
+    @property
+    def steady_state_level(self) -> float:
+        """The "enters the steady state with a one-way delay of
+        approximately X seconds" number in the caption."""
+        return self.overall.steady_state_level()
+
+    @property
+    def transient_packets(self) -> int:
+        """The "transient state lasts until approximately packet N"."""
+        return len(self.transient)
+
+
+@dataclass
+class ThroughputFigure:
+    """One throughput-vs-time figure."""
+
+    title: str
+    series: ThroughputSeries
+
+    @property
+    def traffic_start(self) -> float:
+        """The "vehicles begin communicating at approximately N seconds"."""
+        return self.series.start_of_traffic()
+
+
+@dataclass
+class MovementFrame:
+    """Positions of every vehicle at one instant (Figs. 1-2 snapshots)."""
+
+    time: float
+    platoon1: list[tuple[float, float]]
+    platoon2: list[tuple[float, float]]
+
+
+def fig_1_2_platoon_movement(
+    config: Optional[TrialConfig] = None,
+    times: Optional[list[float]] = None,
+) -> list[MovementFrame]:
+    """Figs. 1-2: initial and subsequent platoon movement snapshots.
+
+    Returns position frames at the key timeline instants: start, brake
+    onset, arrival (= platoon 2 departure), and after departure.
+    """
+    config = config or TRIAL_1
+    scenario = EblScenario(config.with_overrides(enable_trace=False))
+    if times is None:
+        times = [
+            0.0,
+            scenario.brake_onset_time,
+            scenario.arrival_time,
+            scenario.arrival_time + 5.0,
+        ]
+    return [
+        MovementFrame(
+            time=t,
+            platoon1=scenario.platoon1.positions(t),
+            platoon2=scenario.platoon2.positions(t),
+        )
+        for t in times
+    ]
+
+
+def _delay_figure(result: TrialResult, platoon_id: int, title: str) -> DelayFigure:
+    combined = result.platoon(platoon_id).combined_delays()
+    return DelayFigure(
+        title=title, overall=combined, transient=combined.transient()
+    )
+
+
+def _throughput_figure(
+    result: TrialResult, platoon_id: int, title: str
+) -> ThroughputFigure:
+    return ThroughputFigure(
+        title=title, series=result.platoon(platoon_id).throughput
+    )
+
+
+def fig_5_6_trial1_delay(result: Optional[TrialResult] = None) -> DelayFigure:
+    """Figs. 5-6: Trial 1 one-way delay, platoon 1 (overall + transient)."""
+    result = result or run_trial(TRIAL_1)
+    return _delay_figure(result, 1, "Trial 1 one-way delay (platoon 1)")
+
+
+def fig_7_trial1_throughput(
+    result: Optional[TrialResult] = None,
+) -> ThroughputFigure:
+    """Fig. 7: Trial 1 throughput over time, platoon 1."""
+    result = result or run_trial(TRIAL_1)
+    return _throughput_figure(result, 1, "Trial 1 throughput (platoon 1)")
+
+
+def fig_8_9_trial2_delay(result: Optional[TrialResult] = None) -> DelayFigure:
+    """Figs. 8-9: Trial 2 one-way delay, platoon 1."""
+    result = result or run_trial(TRIAL_2)
+    return _delay_figure(result, 1, "Trial 2 one-way delay (platoon 1)")
+
+
+def fig_10_trial2_throughput(
+    result: Optional[TrialResult] = None,
+) -> ThroughputFigure:
+    """Fig. 10: Trial 2 throughput over time, platoon 1."""
+    result = result or run_trial(TRIAL_2)
+    return _throughput_figure(result, 1, "Trial 2 throughput (platoon 1)")
+
+
+def fig_11_14_trial3_delay(
+    result: Optional[TrialResult] = None,
+) -> tuple[DelayFigure, DelayFigure]:
+    """Figs. 11-14: Trial 3 one-way delay for both platoons."""
+    result = result or run_trial(TRIAL_3)
+    return (
+        _delay_figure(result, 1, "Trial 3 one-way delay (platoon 1)"),
+        _delay_figure(result, 2, "Trial 3 one-way delay (platoon 2)"),
+    )
+
+
+def fig_15_trial3_throughput(
+    result: Optional[TrialResult] = None,
+) -> ThroughputFigure:
+    """Fig. 15: Trial 3 throughput over time, platoon 1."""
+    result = result or run_trial(TRIAL_3)
+    return _throughput_figure(result, 1, "Trial 3 throughput (platoon 1)")

@@ -1,0 +1,154 @@
+"""Text rendering of the paper's figures.
+
+No plotting stack is assumed: figures render as Unicode scatter/step
+charts suitable for terminals, logs, and the EXPERIMENTS record — the
+same series a matplotlib user would plot from
+:mod:`repro.experiments.figures`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+from repro.experiments.figures import DelayFigure, ThroughputFigure
+
+
+def ascii_plot(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    width: int = 72,
+    height: int = 18,
+    title: str = "",
+    xlabel: str = "",
+    ylabel: str = "",
+    marker: str = "·",
+) -> str:
+    """Render a scatter of (xs, ys) as a text chart."""
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have the same length")
+    if not xs:
+        raise ValueError("nothing to plot")
+    if width < 10 or height < 4:
+        raise ValueError("chart too small")
+
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in zip(xs, ys):
+        col = int((x - x_min) / x_span * (width - 1))
+        row = height - 1 - int((y - y_min) / y_span * (height - 1))
+        grid[row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title.center(width + 10))
+    for index, row in enumerate(grid):
+        if index == 0:
+            label = f"{y_max:8.3f} |"
+        elif index == height - 1:
+            label = f"{y_min:8.3f} |"
+        elif index == height // 2 and ylabel:
+            label = f"{ylabel[:8]:>8s} |"
+        else:
+            label = "         |"
+        lines.append(label + "".join(row))
+    lines.append("         +" + "-" * width)
+    footer = f"{x_min:<12.3f}{xlabel.center(width - 24)}{x_max:>12.3f}"
+    lines.append("          " + footer)
+    return "\n".join(lines)
+
+
+def render_scenario_map(
+    scenario,
+    t: float,
+    width: int = 60,
+    height: int = 24,
+    extent: float = 350.0,
+) -> str:
+    """Top-down ASCII map of the intersection scenario at time ``t``.
+
+    Platoon-1 vehicles render as ``1``, platoon-2 as ``2``, the
+    intersection centre as ``+`` — a terminal stand-in for the NAM
+    animation frames (Figs. 1-2).
+    """
+    if width < 10 or height < 5:
+        raise ValueError("map too small")
+    grid = [[" "] * width for _ in range(height)]
+
+    def place(x: float, y: float, char: str) -> None:
+        col = int((x + extent) / (2 * extent) * (width - 1))
+        row = int((extent - y) / (2 * extent) * (height - 1))
+        if 0 <= col < width and 0 <= row < height:
+            grid[row][col] = char
+
+    # Streets through the intersection.
+    mid_row = int(extent / (2 * extent) * (height - 1))
+    mid_col = int(extent / (2 * extent) * (width - 1))
+    for col in range(width):
+        grid[mid_row][col] = "-"
+    for row in range(height):
+        grid[row][mid_col] = "|"
+    place(0.0, 0.0, "+")
+
+    for vehicle in scenario.platoon1_vehicles:
+        x, y = vehicle.mobility.position(t)
+        place(x, y, "1")
+    for vehicle in scenario.platoon2_vehicles:
+        x, y = vehicle.mobility.position(t)
+        place(x, y, "2")
+
+    header = f"t = {t:.1f} s   ({2 * extent:.0f} m square)".center(width)
+    return header + "\n" + "\n".join("".join(row) for row in grid)
+
+
+def render_delay_figure(figure: DelayFigure, transient: bool = False) -> str:
+    """Render a delay-vs-packet-ID figure (Figs. 5/6/8/9/11-14 style)."""
+    series = figure.transient if transient else figure.overall
+    samples = list(series)
+    if not samples:
+        return f"{figure.title}: (no packets)"
+    xs = [float(s.packet_id) for s in samples]
+    ys = [s.delay for s in samples]
+    subtitle = " (transient state)" if transient else ""
+    chart = ascii_plot(
+        xs,
+        ys,
+        title=figure.title + subtitle,
+        xlabel="packet ID",
+        ylabel="delay s",
+    )
+    caption = (
+        f"transient ≈ {figure.transient_packets} packets; "
+        f"steady state ≈ {figure.steady_state_level:.3f} s"
+    )
+    return chart + "\n" + caption.center(82)
+
+
+def render_throughput_figure(figure: ThroughputFigure) -> str:
+    """Render a throughput-vs-time figure (Figs. 7/10/15 style)."""
+    samples = figure.series.samples
+    if not samples:
+        return f"{figure.title}: (no samples)"
+    chart = ascii_plot(
+        [s.time for s in samples],
+        [s.mbps for s in samples],
+        title=figure.title,
+        xlabel="time s",
+        ylabel="Mbps",
+        marker="*",
+    )
+    start = figure.traffic_start
+    start_text = (
+        f"traffic begins ≈ {start:.1f} s" if math.isfinite(start)
+        else "no traffic observed"
+    )
+    summary = figure.series.summary()
+    caption = (
+        f"{start_text}; avg {summary.average:.3f} / "
+        f"max {summary.maximum:.3f} Mbps"
+    )
+    return chart + "\n" + caption.center(82)

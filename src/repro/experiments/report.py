@@ -1,0 +1,236 @@
+"""Paper-vs-measured report over every reproduced artifact.
+
+Runs trials 1-3, evaluates the paper's shape claims S1-S7 (DESIGN.md §2),
+and renders the markdown record kept in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.analysis import (
+    TrialAnalysis,
+    analyze_trial,
+    compare_mac_type,
+    compare_packet_size,
+)
+from repro.core.runner import TrialResult, run_trial
+from repro.core.trials import TRIAL_1, TRIAL_2, TRIAL_3
+from repro.experiments.tables import (
+    delay_stats_table,
+    safety_table,
+    throughput_stats_table,
+)
+
+
+@dataclass
+class ClaimCheck:
+    """One shape claim: what the paper says, what we measured, verdict."""
+
+    claim_id: str
+    paper: str
+    measured: str
+    holds: bool
+
+
+@dataclass
+class ExperimentReport:
+    """Results and claim checks across all three trials."""
+
+    trials: dict[str, TrialResult]
+    analyses: dict[str, TrialAnalysis]
+    claims: list[ClaimCheck] = field(default_factory=list)
+
+    @property
+    def all_claims_hold(self) -> bool:
+        """True when every shape claim was reproduced."""
+        return all(c.holds for c in self.claims)
+
+
+def check_claims(
+    a1: TrialAnalysis, a2: TrialAnalysis, a3: TrialAnalysis
+) -> list[ClaimCheck]:
+    """Evaluate shape claims S1-S7 against measured analyses."""
+    claims = []
+
+    # S1: transient then steady state.
+    claims.append(
+        ClaimCheck(
+            claim_id="S1",
+            paper="delay shows a transient state then a steady state",
+            measured=(
+                f"trial1 transient={a1.transient_packets} packets then "
+                f"steady {a1.steady_state_delay:.3f}s; "
+                f"trial3 transient={a3.transient_packets} then "
+                f"{a3.steady_state_delay:.3f}s"
+            ),
+            holds=a1.transient_packets > 0 and a3.transient_packets > 0,
+        )
+    )
+
+    # S2: halving packet size roughly halves throughput.
+    ratio = (
+        a2.throughput.average / a1.throughput.average
+        if a1.throughput.average
+        else float("inf")
+    )
+    claims.append(
+        ClaimCheck(
+            claim_id="S2",
+            paper="500B throughput ≈ half of 1000B throughput (TDMA)",
+            measured=f"throughput ratio trial2/trial1 = {ratio:.2f}",
+            holds=0.4 <= ratio <= 0.65,
+        )
+    )
+
+    # S3: packet size leaves delay essentially unchanged.
+    delay_ratio = (
+        a2.steady_state_delay / a1.steady_state_delay
+        if a1.steady_state_delay
+        else float("inf")
+    )
+    claims.append(
+        ClaimCheck(
+            claim_id="S3",
+            paper="one-way delay essentially unchanged between trials 1 and 2",
+            measured=f"steady-state delay ratio trial2/trial1 = {delay_ratio:.2f}",
+            holds=0.8 <= delay_ratio <= 1.2,
+        )
+    )
+
+    # S4: 802.11 throughput significantly greater than TDMA.
+    thr_gain = (
+        a3.throughput.average / a1.throughput.average
+        if a1.throughput.average
+        else float("inf")
+    )
+    claims.append(
+        ClaimCheck(
+            claim_id="S4",
+            paper="802.11 throughput significantly greater than TDMA",
+            measured=f"throughput ratio trial3/trial1 = {thr_gain:.1f}x",
+            holds=thr_gain > 2.0,
+        )
+    )
+
+    # S5: 802.11 delay significantly less than TDMA.
+    delay_gain = (
+        a1.steady_state_delay / a3.steady_state_delay
+        if a3.steady_state_delay
+        else float("inf")
+    )
+    claims.append(
+        ClaimCheck(
+            claim_id="S5",
+            paper="802.11 one-way delay significantly less than TDMA",
+            measured=f"steady-state delay ratio trial1/trial3 = {delay_gain:.1f}x",
+            holds=delay_gain > 2.0,
+        )
+    )
+
+    # S6: safety — TDMA consumes >~20% of the gap, 802.11 <~2%.
+    claims.append(
+        ClaimCheck(
+            claim_id="S6",
+            paper=(
+                "initial warning: TDMA ≈0.24s (≈5.4m, >20% of 25m gap); "
+                "802.11 ≈0.02s (≈0.45m, <2%)"
+            ),
+            measured=(
+                f"TDMA {a1.initial_packet_delay:.3f}s "
+                f"({a1.safety.distance_during_delay:.2f}m, "
+                f"{100 * a1.safety.gap_fraction_consumed:.1f}%); "
+                f"802.11 {a3.initial_packet_delay:.3f}s "
+                f"({a3.safety.distance_during_delay:.2f}m, "
+                f"{100 * a3.safety.gap_fraction_consumed:.1f}%)"
+            ),
+            holds=(
+                a1.safety.gap_fraction_consumed > 0.10
+                and a3.safety.gap_fraction_consumed < 0.05
+            ),
+        )
+    )
+
+    # S7: throughput CIs are tight (paper: ~3-5% relative precision).
+    worst = max(
+        a1.confidence.relative_precision,
+        a2.confidence.relative_precision,
+        a3.confidence.relative_precision,
+    )
+    claims.append(
+        ClaimCheck(
+            claim_id="S7",
+            paper="95% CI within ~5% relative precision of mean throughput",
+            measured=f"worst relative precision across trials = {100 * worst:.1f}%",
+            holds=worst < 0.15,
+        )
+    )
+    return claims
+
+
+def generate_report(duration: float = 40.0) -> ExperimentReport:
+    """Run all three trials and evaluate every claim."""
+    trials = {
+        "trial1": run_trial(TRIAL_1.with_overrides(duration=duration)),
+        "trial2": run_trial(TRIAL_2.with_overrides(duration=duration)),
+        "trial3": run_trial(TRIAL_3.with_overrides(duration=duration)),
+    }
+    analyses = {name: analyze_trial(result) for name, result in trials.items()}
+    claims = check_claims(
+        analyses["trial1"], analyses["trial2"], analyses["trial3"]
+    )
+    return ExperimentReport(trials=trials, analyses=analyses, claims=claims)
+
+
+def render_markdown(report: ExperimentReport) -> str:
+    """Render the report as the markdown used in EXPERIMENTS.md."""
+    lines = ["# Experiment report", ""]
+    lines.append("## Shape claims")
+    lines.append("")
+    lines.append("| Claim | Paper | Measured | Holds |")
+    lines.append("|---|---|---|---|")
+    for claim in report.claims:
+        mark = "yes" if claim.holds else "NO"
+        lines.append(
+            f"| {claim.claim_id} | {claim.paper} | {claim.measured} | {mark} |"
+        )
+    lines.append("")
+    for name, result in report.trials.items():
+        lines.append(f"## {name}")
+        lines.append("")
+        lines.append("| Platoon | Vehicle | n | avg delay | min | max |")
+        lines.append("|---|---|---|---|---|---|")
+        for row in delay_stats_table(result):
+            lines.append(
+                f"| {row.platoon} | {row.vehicle} | {row.count} "
+                f"| {row.average:.4f} | {row.minimum:.4f} | {row.maximum:.4f} |"
+            )
+        lines.append("")
+        lines.append(
+            "| Platoon | avg Mbps | min | max | CI ± | rel. precision |"
+        )
+        lines.append("|---|---|---|---|---|---|")
+        for trow in throughput_stats_table(result):
+            lines.append(
+                f"| {trow.platoon} | {trow.average_mbps:.4f} "
+                f"| {trow.minimum_mbps:.4f} | {trow.maximum_mbps:.4f} "
+                f"| {trow.ci_half_width:.4f} "
+                f"| {100 * trow.relative_precision:.1f}% |"
+            )
+        lines.append("")
+    lines.append("## Safety (§III.E)")
+    lines.append("")
+    lines.append(
+        "| Trial | MAC | initial delay | distance | % of gap | margin | safe |"
+    )
+    lines.append("|---|---|---|---|---|---|---|")
+    for srow in safety_table(list(report.trials.values())):
+        lines.append(
+            f"| {srow.trial} | {srow.mac_type} | {srow.initial_delay:.4f}s "
+            f"| {srow.distance_travelled:.2f}m "
+            f"| {100 * srow.gap_fraction:.1f}% "
+            f"| {srow.stopping_margin:.2f}m | {srow.is_safe} |"
+        )
+    lines.append("")
+    return "\n".join(lines)

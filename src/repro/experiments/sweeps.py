@@ -1,0 +1,107 @@
+"""Parameter sweeps: the paper's future-work directions and our ablations.
+
+* :func:`packet_size_sweep` — the conclusion's call to "determine ideal
+  802.11-based IVC MANET packet sizes".
+* :func:`platoon_size_sweep` — "a larger and more complex vehicular
+  configuration".
+* :func:`tdma_slot_ablation` — sensitivity of every headline claim to the
+  unpublished TDMA frame size (DESIGN.md X3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.core.analysis import analyze_trial
+from repro.core.runner import run_trial
+from repro.core.trials import TRIAL_1, TRIAL_3, TrialConfig
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One sweep sample: the varied parameter plus headline metrics."""
+
+    parameter: float
+    throughput_mbps: float
+    steady_state_delay: float
+    initial_packet_delay: float
+    gap_fraction: float
+
+
+def _measure(config: TrialConfig, parameter: float) -> SweepPoint:
+    analysis = analyze_trial(run_trial(config))
+    return SweepPoint(
+        parameter=parameter,
+        throughput_mbps=analysis.throughput.average,
+        steady_state_delay=analysis.steady_state_delay,
+        initial_packet_delay=analysis.initial_packet_delay,
+        gap_fraction=analysis.safety.gap_fraction_consumed,
+    )
+
+
+def packet_size_sweep(
+    sizes: Sequence[int] = (100, 250, 500, 1000, 1500),
+    base: Optional[TrialConfig] = None,
+    duration: float = 30.0,
+) -> list[SweepPoint]:
+    """Throughput/delay vs 802.11 packet size (conclusion's open question)."""
+    base = base or TRIAL_3
+    return [
+        _measure(
+            base.with_overrides(
+                name=f"pkt{size}",
+                packet_size=size,
+                duration=duration,
+                enable_trace=False,
+            ),
+            float(size),
+        )
+        for size in sizes
+    ]
+
+
+def platoon_size_sweep(
+    sizes: Sequence[int] = (2, 3, 5, 8),
+    base: Optional[TrialConfig] = None,
+    duration: float = 30.0,
+) -> list[SweepPoint]:
+    """Headline metrics vs vehicles per platoon (future-work scaling)."""
+    base = base or TRIAL_3
+    return [
+        _measure(
+            base.with_overrides(
+                name=f"platoon{size}",
+                platoon_size=size,
+                duration=duration,
+                enable_trace=False,
+            ),
+            float(size),
+        )
+        for size in sizes
+    ]
+
+
+def tdma_slot_ablation(
+    slot_counts: Sequence[int] = (6, 8, 16, 32, 64),
+    base: Optional[TrialConfig] = None,
+    duration: float = 30.0,
+) -> list[SweepPoint]:
+    """Sensitivity of the TDMA results to the frame size (DESIGN.md X3).
+
+    The qualitative claims (TDMA delay ≫ 802.11 delay; packet size does
+    not affect delay) must hold at every point of this sweep.
+    """
+    base = base or TRIAL_1
+    return [
+        _measure(
+            base.with_overrides(
+                name=f"slots{count}",
+                tdma_num_slots=count,
+                duration=duration,
+                enable_trace=False,
+            ),
+            float(count),
+        )
+        for count in slot_counts
+    ]

@@ -1,0 +1,128 @@
+"""The paper's tabulated statistics, as structured rows.
+
+§III.B-D report, per trial: avg/min/max one-way delay for the middle and
+trailing vehicles of each platoon, avg/min/max throughput, and the 95%
+confidence analysis.  §III.E tabulates the stopping-distance assessment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.analysis import analyze_trial
+from repro.core.runner import TrialResult
+from repro.core.safety import assess_safety
+
+#: Human names for follower indices (platoons of three).
+FOLLOWER_NAMES = {1: "middle", 2: "trailing"}
+
+
+@dataclass(frozen=True)
+class DelayStatsRow:
+    """One row of the per-vehicle delay table."""
+
+    trial: str
+    platoon: int
+    vehicle: str
+    count: int
+    average: float
+    minimum: float
+    maximum: float
+
+
+def delay_stats_table(result: TrialResult) -> list[DelayStatsRow]:
+    """Per-vehicle avg/min/max one-way delay for both platoons."""
+    rows = []
+    for platoon_id in (1, 2):
+        platoon = result.platoon(platoon_id)
+        for flow in platoon.flows:
+            if not len(flow.delays):
+                continue
+            summary = flow.delay_summary()
+            rows.append(
+                DelayStatsRow(
+                    trial=result.config.name,
+                    platoon=platoon_id,
+                    vehicle=FOLLOWER_NAMES.get(
+                        flow.follower_index, f"follower{flow.follower_index}"
+                    ),
+                    count=summary.count,
+                    average=summary.average,
+                    minimum=summary.minimum,
+                    maximum=summary.maximum,
+                )
+            )
+    return rows
+
+
+@dataclass(frozen=True)
+class ThroughputStatsRow:
+    """One row of the per-platoon throughput table."""
+
+    trial: str
+    platoon: int
+    average_mbps: float
+    minimum_mbps: float
+    maximum_mbps: float
+    ci_half_width: float
+    ci_level: float
+    relative_precision: float
+
+
+def throughput_stats_table(result: TrialResult) -> list[ThroughputStatsRow]:
+    """Per-platoon throughput summary plus the 95% CI analysis."""
+    rows = []
+    for platoon_id in (1, 2):
+        platoon = result.platoon(platoon_id)
+        summary = platoon.throughput.summary()
+        ci = platoon.throughput_confidence()
+        rows.append(
+            ThroughputStatsRow(
+                trial=result.config.name,
+                platoon=platoon_id,
+                average_mbps=summary.average,
+                minimum_mbps=summary.minimum,
+                maximum_mbps=summary.maximum,
+                ci_half_width=ci.half_width,
+                ci_level=ci.level,
+                relative_precision=ci.relative_precision,
+            )
+        )
+    return rows
+
+
+@dataclass(frozen=True)
+class SafetyRow:
+    """One row of the §III.E stopping-distance table."""
+
+    trial: str
+    mac_type: str
+    initial_delay: float
+    distance_travelled: float
+    gap_fraction: float
+    stopping_margin: float
+    is_safe: bool
+
+
+def safety_table(results: list[TrialResult]) -> list[SafetyRow]:
+    """The §III.E assessment across trials."""
+    rows = []
+    for result in results:
+        analysis = analyze_trial(result)
+        safety = assess_safety(
+            analysis.initial_packet_delay,
+            speed=result.config.speed_mps,
+            separation=result.config.spacing,
+        )
+        rows.append(
+            SafetyRow(
+                trial=result.config.name,
+                mac_type=result.config.mac_type,
+                initial_delay=safety.initial_delay,
+                distance_travelled=safety.distance_during_delay,
+                gap_fraction=safety.gap_fraction_consumed,
+                stopping_margin=safety.stopping_margin,
+                is_safe=safety.is_safe,
+            )
+        )
+    return rows

@@ -1,0 +1,23 @@
+"""Medium-access control layers: 802.11 DCF, TDMA, and plain CSMA."""
+
+from repro.mac.base import Mac, MacStats
+from repro.mac.csma import CsmaMac, CsmaParams
+from repro.mac.dcf import Dcf80211Mac, DcfParams
+from repro.mac.edca import EdcaMac, EdcaParams
+from repro.mac.rate_control import DEFAULT_RATES, ArfRateController
+from repro.mac.tdma import TdmaMac, TdmaParams
+
+__all__ = [
+    "ArfRateController",
+    "CsmaMac",
+    "CsmaParams",
+    "DEFAULT_RATES",
+    "Dcf80211Mac",
+    "DcfParams",
+    "EdcaMac",
+    "EdcaParams",
+    "Mac",
+    "MacStats",
+    "TdmaMac",
+    "TdmaParams",
+]

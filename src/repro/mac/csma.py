@@ -1,0 +1,93 @@
+"""Non-persistent CSMA MAC (baseline extension).
+
+A deliberately simple contention MAC used as an ablation point between
+TDMA (no contention, large fixed delay) and full 802.11 DCF (contention +
+ARQ): carrier-sense before transmitting, random re-schedule when busy, and
+*no* acknowledgements — so collisions silently destroy frames.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.net.addresses import Address, BROADCAST
+from repro.net.packet import Packet
+from repro.net.queues import DropTailQueue
+from repro.mac.base import Mac
+from repro.phy.radio import WirelessPhy
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.des.core import Environment
+
+
+@dataclass
+class CsmaParams:
+    """Non-persistent CSMA constants."""
+
+    #: Mean of the exponential re-schedule delay when the medium is busy.
+    mean_backoff: float = 500e-6
+    #: Fixed sensing gap before transmitting on an idle medium.
+    ifs: float = 50e-6
+    #: Random extra sensing delay in [0, ifs_jitter) added to every IFS.
+    #: Without it, two stations whose waits start at the same frame-end
+    #: event transmit at the same instant and collide forever.
+    ifs_jitter: float = 300e-6
+    #: Give up after this many busy re-schedules.
+    max_attempts: int = 20
+
+
+class CsmaMac(Mac):
+    """Sense, defer randomly while busy, then transmit without ACK."""
+
+    provides_link_feedback = False
+
+    def __init__(
+        self,
+        env: "Environment",
+        address: Address,
+        phy: WirelessPhy,
+        ifq: DropTailQueue,
+        params: Optional[CsmaParams] = None,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        super().__init__(env, address, phy, ifq)
+        self.params = params or CsmaParams()
+        self._rng = rng or random.Random(address)
+
+    def _send_one(self, pkt: Packet):
+        params = self.params
+        pkt.mac.src = self.address
+        attempts = 0
+        while True:
+            if self.phy.medium_busy:
+                attempts += 1
+                if attempts > params.max_attempts:
+                    self._notify_failure(pkt)
+                    return
+                yield self.env.timeout(
+                    self._rng.expovariate(1.0 / params.mean_backoff)
+                )
+                continue
+            yield self.env.timeout(
+                params.ifs + self._rng.uniform(0.0, params.ifs_jitter)
+            )
+            if self.phy.medium_busy:
+                continue
+            duration = self.frame_duration(pkt.size)
+            if self.phy.transmitting:
+                continue
+            self.phy.transmit(pkt, duration)
+            yield self.env.timeout(duration)
+            self.stats.data_sent += 1
+            if pkt.mac.dst != BROADCAST:
+                # Optimistic: no ARQ, so report success to the link layer.
+                self._notify_success(pkt)
+            if self.trace_callback is not None:
+                self.trace_callback("s", pkt, "MAC")
+            return
+
+    def phy_rx_end(self, pkt: Packet) -> None:
+        if self._frame_addressed_to_us(pkt):
+            self._deliver_up(pkt)

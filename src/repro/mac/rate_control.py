@@ -1,0 +1,87 @@
+"""Transmit-rate adaptation for the 802.11 MAC.
+
+Implements ARF (Auto Rate Fallback, Kamerman & Monteban 1997): after
+``up_after`` consecutive acknowledged frames step one rate up; after
+``down_after`` consecutive failures step one rate down; and if the very
+first frame after a step up fails (a failed *probe*), fall straight back.
+
+Higher rates need more signal: the radio models this with per-rate
+receiver sensitivities (see ``RadioParams.rx_threshold_for``), so ARF
+settles at the highest rate the link budget supports.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+#: 802.11b rate ladder, bit/s.
+DEFAULT_RATES = (1e6, 2e6, 5.5e6, 11e6)
+
+
+class ArfRateController:
+    """Classic ARF over a fixed rate ladder."""
+
+    def __init__(
+        self,
+        rates: Sequence[float] = DEFAULT_RATES,
+        up_after: int = 10,
+        down_after: int = 2,
+        start_index: int = 1,
+    ) -> None:
+        if not rates:
+            raise ValueError("need at least one rate")
+        if sorted(rates) != list(rates):
+            raise ValueError("rates must be sorted ascending")
+        if up_after < 1 or down_after < 1:
+            raise ValueError("thresholds must be at least 1")
+        if not 0 <= start_index < len(rates):
+            raise ValueError("start_index outside the rate ladder")
+        self.rates = tuple(rates)
+        self.up_after = up_after
+        self.down_after = down_after
+        self._index = start_index
+        self._successes = 0
+        self._failures = 0
+        self._probing = False
+        #: Statistics.
+        self.steps_up = 0
+        self.steps_down = 0
+
+    @property
+    def current_rate(self) -> float:
+        """The rate the next data frame should use, bit/s."""
+        return self.rates[self._index]
+
+    @property
+    def current_index(self) -> int:
+        """Position on the rate ladder."""
+        return self._index
+
+    def on_success(self) -> None:
+        """A data frame was acknowledged at the current rate."""
+        self._probing = False
+        self._failures = 0
+        self._successes += 1
+        if self._successes >= self.up_after and self._index < len(self.rates) - 1:
+            self._index += 1
+            self.steps_up += 1
+            self._successes = 0
+            self._probing = True  # next frame is the probe
+
+    def on_failure(self) -> None:
+        """A data frame exhausted a retry (or the probe failed)."""
+        self._successes = 0
+        if self._probing:
+            # Failed probe: revert immediately.
+            self._probing = False
+            if self._index > 0:
+                self._index -= 1
+                self.steps_down += 1
+            self._failures = 0
+            return
+        self._failures += 1
+        if self._failures >= self.down_after:
+            self._failures = 0
+            if self._index > 0:
+                self._index -= 1
+                self.steps_down += 1

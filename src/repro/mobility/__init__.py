@@ -1,0 +1,29 @@
+"""Vehicle motion: waypoint paths, platoons, and braking kinematics."""
+
+from repro.mobility.base import MobilityModel, StationaryMobility
+from repro.mobility.kinematics import (
+    BrakingProfile,
+    mph_to_mps,
+    mps_to_mph,
+    stopping_distance,
+    time_to_stop,
+)
+from repro.mobility.manhattan import ManhattanGridMobility
+from repro.mobility.platoon import Platoon, PlatoonSpec
+from repro.mobility.random_waypoint import RandomWaypointMobility
+from repro.mobility.waypoint import WaypointMobility
+
+__all__ = [
+    "BrakingProfile",
+    "ManhattanGridMobility",
+    "MobilityModel",
+    "Platoon",
+    "PlatoonSpec",
+    "RandomWaypointMobility",
+    "StationaryMobility",
+    "WaypointMobility",
+    "mph_to_mps",
+    "mps_to_mph",
+    "stopping_distance",
+    "time_to_stop",
+]

@@ -1,0 +1,48 @@
+"""Mobility model interface."""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+Position = Tuple[float, float]
+
+
+class MobilityModel:
+    """Maps simulated time to a node position.
+
+    Positions are metres in a flat 2-D plane (matching ns-2's wireless
+    topography).  Models are *functional*: ``position(t)`` may be queried
+    for any time, repeatedly, without side effects.
+    """
+
+    def position(self, t: float) -> Position:
+        """Node position ``(x, y)`` at time ``t``."""
+        raise NotImplementedError
+
+    def velocity(self, t: float) -> Position:
+        """Velocity vector at time ``t`` (numeric differentiation default)."""
+        eps = 1e-3
+        x0, y0 = self.position(max(0.0, t - eps))
+        x1, y1 = self.position(t + eps)
+        dt = (t + eps) - max(0.0, t - eps)
+        return ((x1 - x0) / dt, (y1 - y0) / dt)
+
+    def speed(self, t: float) -> float:
+        """Scalar speed at time ``t``."""
+        vx, vy = self.velocity(t)
+        return math.hypot(vx, vy)
+
+
+class StationaryMobility(MobilityModel):
+    """A node that never moves."""
+
+    def __init__(self, x: float, y: float) -> None:
+        self.x = float(x)
+        self.y = float(y)
+
+    def position(self, t: float) -> Position:
+        return (self.x, self.y)
+
+    def velocity(self, t: float) -> Position:
+        return (0.0, 0.0)

@@ -1,0 +1,122 @@
+"""Vehicle braking kinematics used by the safety analysis (paper §III.E).
+
+The paper asks: a trailing vehicle travelling at 50 mph (22.4 m/s), 25 m
+behind a braking leader, receives the first brake-warning packet after the
+one-way delay *d* — how much of the separating gap has it consumed, and can
+it still stop?  These helpers provide the constant-deceleration model that
+analysis uses, including road/brake-condition factors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Standard gravity, m/s².
+GRAVITY = 9.80665
+
+#: Typical coefficients of friction by road state (dry/wet/icy asphalt).
+FRICTION_COEFFICIENTS = {
+    "dry": 0.7,
+    "wet": 0.4,
+    "icy": 0.1,
+}
+
+
+def mph_to_mps(mph: float) -> float:
+    """Convert miles per hour to metres per second."""
+    return mph * 0.44704
+
+
+def mps_to_mph(mps: float) -> float:
+    """Convert metres per second to miles per hour."""
+    return mps / 0.44704
+
+
+def time_to_stop(speed: float, deceleration: float) -> float:
+    """Seconds for a vehicle at ``speed`` to stop at ``deceleration`` m/s²."""
+    if deceleration <= 0:
+        raise ValueError("deceleration must be positive")
+    if speed < 0:
+        raise ValueError("speed must be non-negative")
+    return speed / deceleration
+
+
+def braking_distance(speed: float, deceleration: float) -> float:
+    """Distance covered while braking from ``speed`` to rest: v²/(2a)."""
+    if deceleration <= 0:
+        raise ValueError("deceleration must be positive")
+    if speed < 0:
+        raise ValueError("speed must be non-negative")
+    return speed * speed / (2.0 * deceleration)
+
+
+def stopping_distance(
+    speed: float,
+    deceleration: float,
+    reaction_time: float = 0.0,
+) -> float:
+    """Total stopping distance: reaction roll-out plus braking distance."""
+    if reaction_time < 0:
+        raise ValueError("reaction time must be non-negative")
+    return speed * reaction_time + braking_distance(speed, deceleration)
+
+
+def friction_deceleration(road: str = "dry", brake_efficiency: float = 1.0) -> float:
+    """Achievable deceleration for a road state and brake condition.
+
+    ``a = μ(road) · η(brakes) · g``.
+    """
+    if road not in FRICTION_COEFFICIENTS:
+        raise ValueError(
+            f"unknown road state {road!r}; expected one of "
+            f"{sorted(FRICTION_COEFFICIENTS)}"
+        )
+    if not 0 < brake_efficiency <= 1:
+        raise ValueError("brake_efficiency must be in (0, 1]")
+    return FRICTION_COEFFICIENTS[road] * brake_efficiency * GRAVITY
+
+
+@dataclass
+class BrakingProfile:
+    """Constant-deceleration braking episode starting at ``t0``.
+
+    Provides position/speed along the (1-D) direction of travel, measured
+    from the position at ``t0``.
+    """
+
+    t0: float
+    initial_speed: float
+    deceleration: float
+
+    def __post_init__(self) -> None:
+        if self.initial_speed < 0:
+            raise ValueError("initial speed must be non-negative")
+        if self.deceleration <= 0:
+            raise ValueError("deceleration must be positive")
+
+    @property
+    def stop_time(self) -> float:
+        """Absolute time at which the vehicle reaches rest."""
+        return self.t0 + self.initial_speed / self.deceleration
+
+    @property
+    def total_distance(self) -> float:
+        """Distance covered from ``t0`` until rest."""
+        return braking_distance(self.initial_speed, self.deceleration)
+
+    def speed_at(self, t: float) -> float:
+        """Speed at absolute time ``t``."""
+        if t <= self.t0:
+            return self.initial_speed
+        if t >= self.stop_time:
+            return 0.0
+        return self.initial_speed - self.deceleration * (t - self.t0)
+
+    def distance_at(self, t: float) -> float:
+        """Distance travelled since ``t0`` at absolute time ``t``."""
+        if t <= self.t0:
+            return 0.0
+        if t >= self.stop_time:
+            return self.total_distance
+        dt = t - self.t0
+        return self.initial_speed * dt - 0.5 * self.deceleration * dt * dt

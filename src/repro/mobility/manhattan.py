@@ -1,0 +1,118 @@
+"""Manhattan-grid mobility: motion constrained to an urban street grid.
+
+The classic urban VANET model: vehicles travel along the lines of a
+rectangular street grid, choosing at every intersection to continue
+straight or turn.  The itinerary is pre-generated deterministically from
+the seed (like :class:`~repro.mobility.random_waypoint.RandomWaypointMobility`)
+so positions stay purely functional.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.mobility.waypoint import WaypointMobility
+
+#: Unit direction vectors, clockwise.
+_DIRECTIONS = ((1, 0), (0, -1), (-1, 0), (0, 1))
+
+
+class ManhattanGridMobility(WaypointMobility):
+    """Drive block to block on a ``blocks_x`` × ``blocks_y`` street grid.
+
+    Parameters
+    ----------
+    blocks_x / blocks_y:
+        Number of blocks per axis (the grid has ``blocks+1`` streets).
+    block_size:
+        Street spacing, metres.
+    speed:
+        Constant driving speed, m/s.
+    turn_probability:
+        Chance of turning (left or right equally) at each intersection
+        when going straight is possible.
+    horizon:
+        Simulated time to pre-generate, seconds.
+    """
+
+    def __init__(
+        self,
+        blocks_x: int = 5,
+        blocks_y: int = 5,
+        block_size: float = 100.0,
+        speed: float = 13.9,
+        turn_probability: float = 0.5,
+        horizon: float = 1000.0,
+        rng: Optional[random.Random] = None,
+        start: Optional[tuple[int, int]] = None,
+    ) -> None:
+        if blocks_x < 1 or blocks_y < 1:
+            raise ValueError("the grid needs at least one block per axis")
+        if block_size <= 0:
+            raise ValueError("block_size must be positive")
+        if speed <= 0:
+            raise ValueError("speed must be positive")
+        if not 0 <= turn_probability <= 1:
+            raise ValueError("turn_probability must be in [0, 1]")
+        self.blocks_x = blocks_x
+        self.blocks_y = blocks_y
+        self.block_size = block_size
+        self._rng = rng or random.Random(0)
+
+        if start is None:
+            col = self._rng.randint(0, blocks_x)
+            row = self._rng.randint(0, blocks_y)
+        else:
+            col, row = start
+            if not (0 <= col <= blocks_x and 0 <= row <= blocks_y):
+                raise ValueError("start intersection outside the grid")
+
+        super().__init__(col * block_size, row * block_size)
+
+        direction = self._rng.randrange(4)
+        t = 0.0
+        block_time = block_size / speed
+        while t < horizon:
+            direction = self._choose_direction(col, row, direction,
+                                               turn_probability)
+            dx, dy = _DIRECTIONS[direction]
+            col += dx
+            row += dy
+            self.set_destination(
+                t, col * block_size, row * block_size, speed
+            )
+            t += block_time
+
+    def _legal(self, col: int, row: int, direction: int) -> bool:
+        dx, dy = _DIRECTIONS[direction]
+        return (
+            0 <= col + dx <= self.blocks_x and 0 <= row + dy <= self.blocks_y
+        )
+
+    def _choose_direction(
+        self, col: int, row: int, current: int, turn_probability: float
+    ) -> int:
+        left = (current - 1) % 4
+        right = (current + 1) % 4
+        options: list[int] = []
+        if self._legal(col, row, current) and (
+            self._rng.random() >= turn_probability
+        ):
+            return current
+        for candidate in (left, right, current):
+            if self._legal(col, row, candidate):
+                options.append(candidate)
+        if not options:
+            # Dead end (grid corner facing outward): U-turn.
+            return (current + 2) % 4
+        return self._rng.choice(options)
+
+    def on_grid(self, t: float, tolerance: float = 1e-6) -> bool:
+        """True if the position at ``t`` lies on a street line."""
+        x, y = self.position(t)
+        on_vertical = abs(x / self.block_size - round(x / self.block_size)) \
+            * self.block_size <= tolerance
+        on_horizontal = abs(y / self.block_size - round(y / self.block_size)) \
+            * self.block_size <= tolerance
+        return on_vertical or on_horizontal

@@ -1,0 +1,104 @@
+"""Coordinated platoon motion.
+
+A platoon is a line of vehicles with fixed spacing behind a lead vehicle,
+all sharing a heading.  Movement commands are issued to the lead and echoed
+to every follower with its formation offset preserved — matching the
+paper's two three-vehicle platoons that move and stop as units.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.mobility.base import Position
+from repro.mobility.waypoint import WaypointMobility
+
+
+def _normalise(vec: Position) -> Position:
+    norm = math.hypot(*vec)
+    if norm == 0:
+        raise ValueError("heading vector must be non-zero")
+    return (vec[0] / norm, vec[1] / norm)
+
+
+@dataclass
+class PlatoonSpec:
+    """Static description of a platoon formation."""
+
+    #: Number of vehicles (the paper uses 3).
+    size: int = 3
+    #: Bumper-to-bumper spacing in metres (the paper uses 25 m).
+    spacing: float = 25.0
+    #: Lead vehicle's initial position.
+    lead_position: Position = (0.0, 0.0)
+    #: Unit direction of travel; followers trail behind along -heading.
+    heading: Position = (0.0, 1.0)
+
+    def __post_init__(self) -> None:
+        if self.size < 1:
+            raise ValueError("platoon size must be at least 1")
+        if self.spacing <= 0:
+            raise ValueError("spacing must be positive")
+        self.heading = _normalise(self.heading)
+
+    def initial_positions(self) -> list[Position]:
+        """Positions of all vehicles, lead first."""
+        hx, hy = self.heading
+        lx, ly = self.lead_position
+        return [
+            (lx - index * self.spacing * hx, ly - index * self.spacing * hy)
+            for index in range(self.size)
+        ]
+
+
+class Platoon:
+    """A formation of :class:`WaypointMobility` vehicles moving in lockstep."""
+
+    def __init__(self, spec: PlatoonSpec) -> None:
+        self.spec = spec
+        self.mobilities: list[WaypointMobility] = [
+            WaypointMobility(x, y) for x, y in spec.initial_positions()
+        ]
+
+    def __len__(self) -> int:
+        return len(self.mobilities)
+
+    @property
+    def lead(self) -> WaypointMobility:
+        """The lead vehicle's mobility model."""
+        return self.mobilities[0]
+
+    def positions(self, t: float) -> list[Position]:
+        """All vehicle positions at time ``t``, lead first."""
+        return [m.position(t) for m in self.mobilities]
+
+    def move_lead_to(
+        self, at_time: float, destination: Position, speed: float
+    ) -> None:
+        """Move the whole platoon so the lead ends at ``destination``.
+
+        Every follower receives the same displacement, preserving the
+        formation (the platoon moves as a rigid body along its line).
+        """
+        lx, ly = self.lead.position(at_time)
+        dx = destination[0] - lx
+        dy = destination[1] - ly
+        for mobility in self.mobilities:
+            x, y = mobility.position(at_time)
+            mobility.set_destination(at_time, x + dx, y + dy, speed)
+
+    def advance(self, at_time: float, distance: float, speed: float) -> None:
+        """Advance the platoon ``distance`` metres along its heading."""
+        if distance <= 0:
+            raise ValueError("distance must be positive")
+        hx, hy = self.spec.heading
+        lx, ly = self.lead.position(at_time)
+        self.move_lead_to(
+            at_time, (lx + distance * hx, ly + distance * hy), speed
+        )
+
+    def arrival_time(self) -> float:
+        """Time the last vehicle finishes its final scheduled movement."""
+        return max(m.arrival_time() for m in self.mobilities)

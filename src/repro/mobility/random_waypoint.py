@@ -1,0 +1,55 @@
+"""Random-waypoint mobility (extension for larger scenarios).
+
+The classic MANET mobility model: pick a uniform random point in the
+simulation area, travel to it at a uniform random speed, pause, repeat.
+The itinerary is pre-generated (deterministically from the seed) up to a
+time horizon, so ``position(t)`` stays purely functional.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.mobility.base import Position
+from repro.mobility.waypoint import WaypointMobility
+
+
+class RandomWaypointMobility(WaypointMobility):
+    """Pre-generated random-waypoint itinerary inside a rectangle."""
+
+    def __init__(
+        self,
+        width: float,
+        height: float,
+        speed_range: tuple[float, float] = (1.0, 20.0),
+        pause_time: float = 0.0,
+        horizon: float = 1000.0,
+        rng: Optional[random.Random] = None,
+        start: Optional[Position] = None,
+    ) -> None:
+        if width <= 0 or height <= 0:
+            raise ValueError("area dimensions must be positive")
+        lo, hi = speed_range
+        if not 0 < lo <= hi:
+            raise ValueError("speed_range must satisfy 0 < min <= max")
+        if pause_time < 0:
+            raise ValueError("pause_time must be non-negative")
+        self._rng = rng or random.Random(0)
+        if start is None:
+            start = (self._rng.uniform(0, width), self._rng.uniform(0, height))
+        super().__init__(*start)
+        self.width = width
+        self.height = height
+
+        t = 0.0
+        x, y = start
+        import math
+
+        while t < horizon:
+            nx = self._rng.uniform(0, width)
+            ny = self._rng.uniform(0, height)
+            speed = self._rng.uniform(lo, hi)
+            self.set_destination(t, nx, ny, speed)
+            t += math.hypot(nx - x, ny - y) / speed + pause_time
+            x, y = nx, ny

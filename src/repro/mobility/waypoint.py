@@ -1,0 +1,100 @@
+"""setdest-style waypoint mobility (ns-2 ``$node setdest x y speed``)."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.mobility.base import MobilityModel, Position
+
+
+@dataclass
+class _Segment:
+    """One straight-line movement leg."""
+
+    start_time: float
+    x0: float
+    y0: float
+    x1: float
+    y1: float
+    speed: float
+
+    @property
+    def distance(self) -> float:
+        return math.hypot(self.x1 - self.x0, self.y1 - self.y0)
+
+    @property
+    def duration(self) -> float:
+        if self.speed <= 0 or self.distance == 0:
+            return 0.0
+        return self.distance / self.speed
+
+    @property
+    def end_time(self) -> float:
+        return self.start_time + self.duration
+
+    def position_at(self, t: float) -> Position:
+        if self.duration == 0 or t >= self.end_time:
+            return (self.x1, self.y1)
+        frac = max(0.0, (t - self.start_time)) / self.duration
+        return (
+            self.x0 + frac * (self.x1 - self.x0),
+            self.y0 + frac * (self.y1 - self.y0),
+        )
+
+
+class WaypointMobility(MobilityModel):
+    """Piecewise-linear motion driven by timed ``setdest`` commands.
+
+    Commands must be added in non-decreasing time order; each command moves
+    the node from wherever it is at that time toward the new destination at
+    constant speed, then it rests there until the next command.
+    """
+
+    def __init__(self, x: float, y: float) -> None:
+        self._initial: Position = (float(x), float(y))
+        self._segments: list[_Segment] = []
+
+    def set_destination(self, at_time: float, x: float, y: float, speed: float) -> None:
+        """Schedule a movement starting at ``at_time`` (ns-2 ``setdest``)."""
+        if speed <= 0:
+            raise ValueError("speed must be positive")
+        if at_time < 0:
+            raise ValueError("at_time must be non-negative")
+        if self._segments and at_time < self._segments[-1].start_time:
+            raise ValueError(
+                "waypoints must be added in non-decreasing time order"
+            )
+        x0, y0 = self.position(at_time)
+        self._segments.append(
+            _Segment(at_time, x0, y0, float(x), float(y), float(speed))
+        )
+
+    def position(self, t: float) -> Position:
+        current = self._initial
+        for seg in self._segments:
+            if t < seg.start_time:
+                break
+            current = seg.position_at(t)
+        return current
+
+    def velocity(self, t: float) -> Position:
+        active = None
+        for seg in self._segments:
+            if seg.start_time <= t < seg.end_time:
+                active = seg
+        if active is None or active.duration == 0:
+            return (0.0, 0.0)
+        return (
+            (active.x1 - active.x0) / active.duration,
+            (active.y1 - active.y0) / active.duration,
+        )
+
+    @property
+    def waypoint_count(self) -> int:
+        """Number of scheduled movement legs."""
+        return len(self._segments)
+
+    def arrival_time(self) -> float:
+        """Time the final scheduled movement completes (0 if none)."""
+        return self._segments[-1].end_time if self._segments else 0.0

@@ -1,0 +1,23 @@
+"""Network plumbing: packets, queues, channel, and node assembly.
+
+This package provides the pieces ns-2 supplied to the original study:
+a packet/header model (:mod:`repro.net.packet`, :mod:`repro.net.headers`),
+interface queues (:mod:`repro.net.queues`), the shared wireless channel
+(:mod:`repro.net.channel`), and the mobile-node stack assembly
+(:mod:`repro.net.node`).
+"""
+
+from repro.net.addresses import BROADCAST, Address, is_broadcast
+from repro.net.packet import Packet, PacketType
+from repro.net.queues import DropTailQueue, PriQueue, REDQueue
+
+__all__ = [
+    "Address",
+    "BROADCAST",
+    "DropTailQueue",
+    "Packet",
+    "PacketType",
+    "PriQueue",
+    "REDQueue",
+    "is_broadcast",
+]

@@ -1,0 +1,28 @@
+"""Node addressing.
+
+Addresses are small integers (the node index), mirroring ns-2's flat
+address space.  A single distinguished value stands for the link-layer and
+network-layer broadcast address.
+"""
+
+from __future__ import annotations
+
+#: Type alias for node addresses.
+Address = int
+
+#: The broadcast address (matches ns-2's IP_BROADCAST semantics).
+BROADCAST: Address = -1
+
+
+def is_broadcast(address: Address) -> bool:
+    """True if ``address`` is the broadcast address."""
+    return address == BROADCAST
+
+
+def validate_address(address: Address) -> Address:
+    """Validate a unicast or broadcast address, returning it unchanged."""
+    if not isinstance(address, int):
+        raise TypeError(f"address must be an int, got {type(address).__name__}")
+    if address < BROADCAST:
+        raise ValueError(f"invalid address {address}")
+    return address

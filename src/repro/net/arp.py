@@ -1,0 +1,132 @@
+"""Address Resolution Protocol (ns-2 ``LL``/``ARPTable`` equivalent).
+
+Our addresses are a flat integer space, so resolution is an *identity*
+mapping — but ns-2 still ran ARP over it, and ARP visibly shapes
+results: the **first** packet to a neighbour waits a full
+request/reply exchange, inflating exactly the initial-packet delay the
+paper's safety analysis measures.  The layer is therefore optional
+(``TrialConfig.use_arp``), off by default to match the calibrated
+results, and available to quantify its effect.
+
+Behaviour follows ns-2: one packet is held per unresolved destination
+(a newer packet replaces — drops — the held one), requests are
+broadcast, replies unicast, and entries never expire within a run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.net.addresses import Address, BROADCAST
+from repro.net.headers import IpHeader, MacHeader
+from repro.net.packet import Packet, PacketType
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.des.core import Environment
+    from repro.net.node import Node
+
+#: ARP packet size on the wire (Ethernet-style), bytes.
+ARP_PACKET_SIZE = 28
+
+
+@dataclass
+class ArpHeader:
+    """ARP request/reply payload."""
+
+    WIRE_SIZE = ARP_PACKET_SIZE
+
+    op: str  # "request" or "reply"
+    sender: Address
+    target: Address
+
+
+class ArpLayer:
+    """Link-layer shim resolving next hops before MAC transmission.
+
+    Sits between the routing layer and the interface queue: packets for
+    resolved (or broadcast) next hops pass straight through; the first
+    packet to an unresolved neighbour is parked while a request goes
+    out.
+    """
+
+    def __init__(self, node: "Node") -> None:
+        self.node = node
+        self.env = node.env
+        #: Resolved neighbours.  Identity-mapped, but only after the
+        #: handshake — exactly ns-2's observable behaviour.
+        self.cache: set[Address] = set()
+        #: One held packet per pending destination (ns-2 keeps one).
+        self._pending: dict[Address, Packet] = {}
+        self.requests_sent = 0
+        self.replies_sent = 0
+        self.packets_dropped = 0
+
+    # -- downward path ---------------------------------------------------------
+
+    def resolve_and_send(self, pkt: Packet, next_hop: Address) -> None:
+        """Forward ``pkt`` once ``next_hop`` is resolved."""
+        if next_hop == BROADCAST or next_hop in self.cache:
+            self._transmit(pkt, next_hop)
+            return
+        if next_hop in self._pending:
+            # ns-2 keeps only the most recent packet per destination.
+            dropped = self._pending[next_hop]
+            self.packets_dropped += 1
+            self.node.drop(dropped, "ARP")
+        self._pending[next_hop] = pkt
+        self._send_request(next_hop)
+
+    def _transmit(self, pkt: Packet, next_hop: Address) -> None:
+        pkt.mac.dst = next_hop
+        pkt.mac.src = self.node.address
+        self.node.ifq.put(pkt)
+
+    def _send_request(self, target: Address) -> None:
+        self.requests_sent += 1
+        request = Packet(
+            ptype=PacketType.MAC,
+            size=ARP_PACKET_SIZE,
+            ip=IpHeader(src=self.node.address, dst=BROADCAST),
+            mac=MacHeader(src=self.node.address, dst=BROADCAST),
+            headers={
+                "arp": ArpHeader(
+                    op="request", sender=self.node.address, target=target
+                )
+            },
+        )
+        self.node.ifq.put(request)
+
+    # -- upward path ----------------------------------------------------------------
+
+    def handle(self, pkt: Packet) -> bool:
+        """Process a frame if it is ARP; returns True when consumed."""
+        header = pkt.headers.get("arp")
+        if header is None:
+            return False
+        # Any ARP traffic teaches us the sender.
+        self.cache.add(header.sender)
+        self._release(header.sender)
+        if header.op == "request" and header.target == self.node.address:
+            self._send_reply(header.sender)
+        return True
+
+    def _send_reply(self, requester: Address) -> None:
+        self.replies_sent += 1
+        reply = Packet(
+            ptype=PacketType.MAC,
+            size=ARP_PACKET_SIZE,
+            ip=IpHeader(src=self.node.address, dst=requester),
+            mac=MacHeader(src=self.node.address, dst=requester),
+            headers={
+                "arp": ArpHeader(
+                    op="reply", sender=self.node.address, target=requester
+                )
+            },
+        )
+        self.node.ifq.put(reply)
+
+    def _release(self, resolved: Address) -> None:
+        held = self._pending.pop(resolved, None)
+        if held is not None:
+            self._transmit(held, resolved)

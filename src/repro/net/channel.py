@@ -1,0 +1,96 @@
+"""The shared wireless channel.
+
+A single broadcast medium: every transmission is offered to every other
+attached radio, with per-receiver received power computed from the
+propagation model and node geometry at transmission time, and delivery
+delayed by distance/c.  Receivers below their carrier-sense threshold never
+hear the signal at all (ns-2's "interference distance" filter).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.net.packet import Packet
+from repro.phy.propagation import SPEED_OF_LIGHT, PropagationModel, TwoRayGround
+from repro.phy.radio import WirelessPhy
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.des.core import Environment
+
+
+class WirelessChannel:
+    """Broadcast radio channel connecting :class:`WirelessPhy` instances."""
+
+    def __init__(
+        self,
+        env: "Environment",
+        propagation: Optional[PropagationModel] = None,
+    ) -> None:
+        self.env = env
+        self.propagation = propagation or TwoRayGround()
+        self._phys: list[WirelessPhy] = []
+        #: Statistics: total transmissions offered to the channel.
+        self.transmissions = 0
+
+    def attach(self, phy: WirelessPhy) -> None:
+        """Connect a radio to this channel."""
+        if phy in self._phys:
+            raise ValueError("phy already attached")
+        phy.channel = self
+        phy.propagation = self.propagation
+        self._phys.append(phy)
+
+    def detach(self, phy: WirelessPhy) -> None:
+        """Disconnect a radio (e.g. a vehicle leaving the scenario)."""
+        self._phys.remove(phy)
+        phy.channel = None
+
+    @property
+    def phys(self) -> tuple[WirelessPhy, ...]:
+        """Radios currently attached."""
+        return tuple(self._phys)
+
+    def transmit(self, sender: WirelessPhy, pkt: Packet, duration: float) -> None:
+        """Offer ``pkt`` from ``sender`` to every other attached radio."""
+        self.transmissions += 1
+        params = sender.params
+        for receiver in self._phys:
+            if receiver is sender:
+                continue
+            distance = sender.distance_to(receiver)
+            power = self.propagation.rx_power(
+                params.tx_power,
+                distance,
+                params.wavelength,
+                tx_gain=params.tx_gain,
+                rx_gain=receiver.params.rx_gain,
+                tx_height=params.antenna_height,
+                rx_height=receiver.params.antenna_height,
+                system_loss=params.system_loss,
+            )
+            if power < receiver.params.cs_threshold:
+                continue
+            delay = distance / SPEED_OF_LIGHT
+            self.env.process(
+                self._deliver(
+                    receiver,
+                    pkt.copy(keep_uid=True),
+                    power,
+                    duration,
+                    delay,
+                    distance,
+                )
+            )
+
+    def _deliver(
+        self,
+        receiver: WirelessPhy,
+        pkt: Packet,
+        power: float,
+        duration: float,
+        delay: float,
+        distance: float,
+    ):
+        yield self.env.timeout(delay)
+        receiver.begin_receive(pkt, power, duration, distance=distance)

@@ -1,0 +1,162 @@
+"""The simulation packet: one object per in-flight datagram.
+
+Packets follow ns-2's model: a *common* part (uid, type, size, creation
+timestamp) plus a stack of protocol headers (:mod:`repro.net.headers`).
+``size`` is the total on-the-wire byte count used to compute transmission
+times; transport agents set it to payload plus header overhead.
+"""
+
+from __future__ import annotations
+
+import copy as _copy
+import dataclasses
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.net.addresses import Address, BROADCAST
+from repro.net.headers import IpHeader, MacHeader
+
+_uid_counter = itertools.count()
+
+
+#: Per-header-class cache of which fields hold containers (computed once;
+#: header dataclasses have fixed field types).
+_CONTAINER_FIELDS: dict[type, tuple[str, ...]] = {}
+
+
+def _dup_header(header: Any) -> Any:
+    """Duplicate one protocol header.
+
+    Headers are flat dataclasses of scalars plus the occasional list/set
+    of immutable entries, so a shallow copy with fresh containers is
+    equivalent to a deep copy at a fraction of the cost — and this is
+    the simulator's hottest function.  Anything unexpected falls back to
+    ``deepcopy``.
+    """
+    cls = type(header)
+    names = _CONTAINER_FIELDS.get(cls)
+    if names is None:
+        if not dataclasses.is_dataclass(header):
+            return _copy.deepcopy(header)
+        names = tuple(
+            f.name
+            for f in dataclasses.fields(header)
+            if isinstance(getattr(header, f.name), (list, set, dict))
+        )
+        _CONTAINER_FIELDS[cls] = names
+    dup = cls.__new__(cls)
+    dup.__dict__.update(header.__dict__)
+    for name in names:
+        value = getattr(dup, name)
+        setattr(dup, name, type(value)(value))
+    return dup
+
+
+class PacketType(enum.Enum):
+    """Packet type tags used for tracing and queue prioritisation."""
+
+    TCP = "tcp"
+    ACK = "ack"
+    UDP = "udp"
+    CBR = "cbr"
+    AODV = "aodv"
+    DSDV = "dsdv"
+    MAC = "mac"  # RTS/CTS/ACK control frames
+    EBL = "ebl"
+
+    @property
+    def is_routing_control(self) -> bool:
+        """True for routing-protocol control traffic (gets queue priority)."""
+        return self in (PacketType.AODV, PacketType.DSDV)
+
+
+@dataclass
+class Packet:
+    """A single simulated packet.
+
+    Attributes
+    ----------
+    uid:
+        Globally unique id (fresh per packet object; copies get new uids
+        unless copied via :meth:`copy` with ``keep_uid=True``).
+    ptype:
+        Coarse packet class for tracing/queueing.
+    size:
+        Total bytes on the wire (payload + transport + IP headers; MAC
+        framing is accounted for as time by the MAC layer).
+    ip:
+        Network-layer header.
+    mac:
+        Link-layer header (filled in hop by hop).
+    headers:
+        Additional protocol headers keyed by name ("tcp", "aodv", ...).
+    timestamp:
+        Simulated creation time at the original sender; one-way delay is
+        measured against this.
+    """
+
+    ptype: PacketType
+    size: int
+    ip: IpHeader
+    mac: MacHeader = field(default_factory=MacHeader)
+    headers: dict[str, Any] = field(default_factory=dict)
+    timestamp: float = 0.0
+    uid: int = field(default_factory=lambda: next(_uid_counter))
+    #: Number of hops traversed so far (incremented by the routing layer).
+    num_forwards: int = 0
+    #: Free-form per-packet annotations for tracing/analysis.
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError(f"packet size must be positive, got {self.size}")
+
+    @property
+    def src(self) -> Address:
+        """Network-layer source address."""
+        return self.ip.src
+
+    @property
+    def dst(self) -> Address:
+        """Network-layer destination address."""
+        return self.ip.dst
+
+    @property
+    def is_broadcast(self) -> bool:
+        """True if the network-layer destination is the broadcast address."""
+        return self.ip.dst == BROADCAST
+
+    def header(self, name: str) -> Any:
+        """Return the named protocol header, raising KeyError if absent."""
+        return self.headers[name]
+
+    def copy(self, keep_uid: bool = False) -> "Packet":
+        """Copy this packet with independent headers (fresh uid unless
+        ``keep_uid``).
+
+        The wireless channel hands an independent copy to every receiver
+        so per-hop mutations (TTL, MAC header) cannot alias.  Headers are
+        duplicated field-aware (shallow plus container copies) rather
+        than via ``deepcopy`` — this is the simulator's hottest path.
+        """
+        dup = Packet(
+            ptype=self.ptype,
+            size=self.size,
+            ip=_dup_header(self.ip),
+            mac=_dup_header(self.mac),
+            headers={k: _dup_header(v) for k, v in self.headers.items()},
+            timestamp=self.timestamp,
+            num_forwards=self.num_forwards,
+            meta=dict(self.meta),
+        )
+        if keep_uid:
+            dup.uid = self.uid
+        return dup
+
+    def __repr__(self) -> str:
+        return (
+            f"Packet(uid={self.uid}, {self.ptype.value}, {self.size}B, "
+            f"{self.ip.src}->{self.ip.dst})"
+        )

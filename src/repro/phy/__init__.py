@@ -1,0 +1,31 @@
+"""Radio physical layer: propagation models and the wireless transceiver."""
+
+from repro.phy.energy import EnergyModel, EnergyParams
+from repro.phy.error_models import (
+    DistanceDependentErrorModel,
+    ErrorModel,
+    GilbertElliotErrorModel,
+    UniformErrorModel,
+)
+from repro.phy.propagation import (
+    FreeSpace,
+    LogNormalShadowing,
+    PropagationModel,
+    TwoRayGround,
+)
+from repro.phy.radio import RadioParams, WirelessPhy
+
+__all__ = [
+    "DistanceDependentErrorModel",
+    "EnergyModel",
+    "EnergyParams",
+    "ErrorModel",
+    "FreeSpace",
+    "GilbertElliotErrorModel",
+    "UniformErrorModel",
+    "LogNormalShadowing",
+    "PropagationModel",
+    "RadioParams",
+    "TwoRayGround",
+    "WirelessPhy",
+]

@@ -1,0 +1,171 @@
+"""Channel error models (ns-2 ``ErrorModel`` equivalents).
+
+An error model decides, per frame, whether random channel impairment
+(fading, external interference) corrupts it — on top of the collision
+and capture logic the radio already applies.  Attach one to a
+:class:`~repro.phy.radio.WirelessPhy` via ``phy.error_model``.
+
+* :class:`UniformErrorModel` — i.i.d. frame loss with fixed probability,
+  optionally scaled per byte (longer frames more likely to die).
+* :class:`GilbertElliotErrorModel` — two-state bursty loss (good/bad
+  channel), the standard model for fading-induced error bursts.
+* :class:`DistanceDependentErrorModel` — loss probability rising with
+  range, approximating the soft edge of real radio coverage that the
+  two-ray threshold model makes artificially sharp.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Optional
+
+from repro.net.packet import Packet
+
+
+class ErrorModel:
+    """Base class: decide whether a frame is corrupted."""
+
+    def corrupts(self, pkt: Packet, distance: float, power: float) -> bool:
+        """True if the frame should be dropped as corrupted."""
+        raise NotImplementedError
+
+    #: Frames inspected / frames corrupted (populated by the radio).
+    def reset_counters(self) -> None:
+        """Reset inspection counters."""
+        self.frames_checked = 0
+        self.frames_corrupted = 0
+
+    def __init__(self) -> None:
+        self.reset_counters()
+
+    def _check(self, corrupted: bool) -> bool:
+        self.frames_checked += 1
+        if corrupted:
+            self.frames_corrupted += 1
+        return corrupted
+
+    @property
+    def observed_rate(self) -> float:
+        """Fraction of inspected frames corrupted so far."""
+        if self.frames_checked == 0:
+            return 0.0
+        return self.frames_corrupted / self.frames_checked
+
+
+class UniformErrorModel(ErrorModel):
+    """Independent per-frame (or per-byte) loss."""
+
+    def __init__(
+        self,
+        rate: float,
+        unit: str = "packet",
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        super().__init__()
+        if not 0 <= rate <= 1:
+            raise ValueError("rate must be in [0, 1]")
+        if unit not in ("packet", "byte"):
+            raise ValueError("unit must be 'packet' or 'byte'")
+        self.rate = rate
+        self.unit = unit
+        self._rng = rng or random.Random(0)
+
+    def corrupts(self, pkt: Packet, distance: float, power: float) -> bool:
+        if self.unit == "packet":
+            p = self.rate
+        else:
+            # Per-byte rate r: P(frame lost) = 1 - (1 - r)^bytes.
+            p = 1.0 - (1.0 - self.rate) ** pkt.size
+        return self._check(self._rng.random() < p)
+
+
+class GilbertElliotErrorModel(ErrorModel):
+    """Two-state Markov (good/bad) bursty loss.
+
+    In the *good* state frames are lost with ``good_loss`` (usually ~0);
+    in the *bad* state with ``bad_loss`` (usually near 1).  State
+    transitions occur per inspected frame with the given probabilities,
+    giving geometric burst lengths of mean ``1/p_bad_to_good``.
+    """
+
+    def __init__(
+        self,
+        p_good_to_bad: float = 0.01,
+        p_bad_to_good: float = 0.2,
+        good_loss: float = 0.0,
+        bad_loss: float = 0.9,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        super().__init__()
+        for name, value in (
+            ("p_good_to_bad", p_good_to_bad),
+            ("p_bad_to_good", p_bad_to_good),
+            ("good_loss", good_loss),
+            ("bad_loss", bad_loss),
+        ):
+            if not 0 <= value <= 1:
+                raise ValueError(f"{name} must be in [0, 1]")
+        self.p_good_to_bad = p_good_to_bad
+        self.p_bad_to_good = p_bad_to_good
+        self.good_loss = good_loss
+        self.bad_loss = bad_loss
+        self.in_bad_state = False
+        self._rng = rng or random.Random(0)
+
+    @property
+    def steady_state_loss(self) -> float:
+        """Long-run average loss rate of the chain."""
+        denom = self.p_good_to_bad + self.p_bad_to_good
+        if denom == 0:
+            return self.good_loss if not self.in_bad_state else self.bad_loss
+        pi_bad = self.p_good_to_bad / denom
+        return (1 - pi_bad) * self.good_loss + pi_bad * self.bad_loss
+
+    def corrupts(self, pkt: Packet, distance: float, power: float) -> bool:
+        # Evolve the channel state, then sample loss in the new state.
+        if self.in_bad_state:
+            if self._rng.random() < self.p_bad_to_good:
+                self.in_bad_state = False
+        else:
+            if self._rng.random() < self.p_good_to_bad:
+                self.in_bad_state = True
+        loss = self.bad_loss if self.in_bad_state else self.good_loss
+        return self._check(self._rng.random() < loss)
+
+
+class DistanceDependentErrorModel(ErrorModel):
+    """Loss probability rising smoothly with distance.
+
+    ``P(loss) = min(max_loss, (d / reference)^exponent · base_loss)`` —
+    a soft coverage edge in place of the hard threshold cliff.
+    """
+
+    def __init__(
+        self,
+        reference_distance: float = 250.0,
+        base_loss: float = 0.05,
+        exponent: float = 4.0,
+        max_loss: float = 0.95,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        super().__init__()
+        if reference_distance <= 0:
+            raise ValueError("reference_distance must be positive")
+        if not 0 <= base_loss <= 1 or not 0 <= max_loss <= 1:
+            raise ValueError("loss probabilities must be in [0, 1]")
+        if exponent <= 0:
+            raise ValueError("exponent must be positive")
+        self.reference_distance = reference_distance
+        self.base_loss = base_loss
+        self.exponent = exponent
+        self.max_loss = max_loss
+        self._rng = rng or random.Random(0)
+
+    def loss_probability(self, distance: float) -> float:
+        """Loss probability at ``distance`` metres."""
+        scaled = (distance / self.reference_distance) ** self.exponent
+        return min(self.max_loss, scaled * self.base_loss)
+
+    def corrupts(self, pkt: Packet, distance: float, power: float) -> bool:
+        return self._check(self._rng.random() < self.loss_probability(distance))

@@ -1,0 +1,20 @@
+"""Routing protocols: AODV (the paper's fixed choice) plus baselines."""
+
+from repro.routing.aodv import Aodv, AodvParams
+from repro.routing.base import RoutingProtocol
+from repro.routing.dsdv import Dsdv, DsdvParams
+from repro.routing.flooding import Flooding
+from repro.routing.static_routing import StaticRouting
+from repro.routing.table import RouteEntry, RouteTable
+
+__all__ = [
+    "Aodv",
+    "AodvParams",
+    "Dsdv",
+    "DsdvParams",
+    "Flooding",
+    "RouteEntry",
+    "RouteTable",
+    "RoutingProtocol",
+    "StaticRouting",
+]

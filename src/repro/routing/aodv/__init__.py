@@ -1,0 +1,13 @@
+"""Ad hoc On-demand Distance Vector routing (RFC 3561 subset).
+
+The paper's fixed routing protocol.  :class:`~repro.routing.aodv.protocol.Aodv`
+implements on-demand route discovery (RREQ broadcast with expanding-ring
+search, RREP unicast along the reverse path), destination sequence numbers,
+route-error reporting, data buffering during discovery, and optional HELLO
+beaconing for MACs that provide no link-layer feedback.
+"""
+
+from repro.routing.aodv.config import AodvParams
+from repro.routing.aodv.protocol import Aodv
+
+__all__ = ["Aodv", "AodvParams"]

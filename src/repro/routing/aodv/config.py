@@ -1,0 +1,56 @@
+"""AODV protocol constants (RFC 3561 §10, with ns-2's customary values)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class AodvParams:
+    """Tunable AODV constants.
+
+    Defaults follow RFC 3561 §10 except where ns-2's implementation
+    (the paper's substrate) differs, noted inline.
+    """
+
+    #: How long an active route stays usable after last use (ns-2: 10 s).
+    active_route_timeout: float = 10.0
+    #: Lifetime a destination advertises for itself in a RREP (ns-2: 10 s).
+    my_route_timeout: float = 10.0
+    #: Network diameter bound, hops.
+    net_diameter: int = 35
+    #: Estimated per-hop traversal time.
+    node_traversal_time: float = 0.04
+    #: RREQ retries before the destination is declared unreachable.
+    rreq_retries: int = 2
+    #: Expanding-ring search: first TTL, increment, and escalation bound.
+    ttl_start: int = 5
+    ttl_increment: int = 2
+    ttl_threshold: int = 7
+    #: How long (origin, rreq_id) pairs stay in the duplicate cache.
+    path_discovery_time: float = 30.0
+    #: Dead routes linger this long so their seqnos survive (DELETE_PERIOD).
+    delete_period: float = 15.0
+    #: Data packets buffered per destination while discovery runs.
+    buffer_size: int = 64
+    #: Buffered packets older than this are dropped (ns-2: 30 s).
+    buffer_timeout: float = 30.0
+    #: HELLO beacon interval; 0 disables beaconing.  ns-2 disables HELLOs
+    #: when link-layer failure detection is available, and so do we — the
+    #: scenario builder turns beaconing on only for MACs without feedback.
+    hello_interval: float = 0.0
+    #: Missed HELLOs before a neighbour is declared lost.
+    allowed_hello_loss: int = 2
+    #: When an intermediate node answers a RREQ from its cache, also send
+    #: a gratuitous RREP to the destination so it learns the reverse
+    #: route without its own discovery (RFC 3561 §6.6.3, 'G' flag).
+    gratuitous_rrep: bool = True
+
+    @property
+    def net_traversal_time(self) -> float:
+        """Round-trip bound across the network (RFC 3561)."""
+        return 2.0 * self.node_traversal_time * self.net_diameter
+
+    def ring_traversal_time(self, ttl: int) -> float:
+        """RREP wait time for an expanding-ring RREQ with ``ttl``."""
+        return 2.0 * self.node_traversal_time * (ttl + 2)

@@ -1,0 +1,91 @@
+"""Constructors for AODV control packets."""
+
+from __future__ import annotations
+
+from repro.net.addresses import Address, BROADCAST
+from repro.net.headers import AodvHeader, IpHeader
+from repro.net.packet import Packet, PacketType
+
+
+def _control_packet(
+    header: AodvHeader, src: Address, dst: Address, ttl: int
+) -> Packet:
+    return Packet(
+        ptype=PacketType.AODV,
+        size=IpHeader.WIRE_SIZE + header.wire_size,
+        ip=IpHeader(src=src, dst=dst, ttl=ttl),
+        headers={"aodv": header},
+    )
+
+
+def make_rreq(
+    src: Address,
+    rreq_id: int,
+    origin_seqno: int,
+    dst: Address,
+    dst_seqno: int,
+    unknown_seqno: bool,
+    ttl: int,
+) -> Packet:
+    """Build a route-request broadcast."""
+    header = AodvHeader(
+        kind=AodvHeader.KIND_RREQ,
+        hop_count=0,
+        rreq_id=rreq_id,
+        dst=dst,
+        dst_seqno=dst_seqno,
+        unknown_seqno=unknown_seqno,
+        origin=src,
+        origin_seqno=origin_seqno,
+    )
+    return _control_packet(header, src, BROADCAST, ttl)
+
+
+def make_rrep(
+    src: Address,
+    origin: Address,
+    dst: Address,
+    dst_seqno: int,
+    hop_count: int,
+    lifetime: float,
+    ttl: int,
+) -> Packet:
+    """Build a route-reply unicast toward ``origin``.
+
+    ``dst`` is the destination the reply describes a route to; ``src`` is
+    the replying node (destination itself or an intermediate with a fresh
+    route).
+    """
+    header = AodvHeader(
+        kind=AodvHeader.KIND_RREP,
+        hop_count=hop_count,
+        dst=dst,
+        dst_seqno=dst_seqno,
+        origin=origin,
+        lifetime=lifetime,
+    )
+    return _control_packet(header, src, origin, ttl)
+
+
+def make_rerr(
+    src: Address, unreachable: list[tuple[Address, int]]
+) -> Packet:
+    """Build a route-error broadcast listing unreachable destinations."""
+    if not unreachable:
+        raise ValueError("RERR requires at least one unreachable destination")
+    header = AodvHeader(
+        kind=AodvHeader.KIND_RERR,
+        unreachable=list(unreachable),
+    )
+    return _control_packet(header, src, BROADCAST, ttl=1)
+
+
+def make_hello(src: Address, seqno: int, lifetime: float) -> Packet:
+    """Build a HELLO beacon (a 1-hop RREP for ourselves)."""
+    header = AodvHeader(
+        kind=AodvHeader.KIND_HELLO,
+        dst=src,
+        dst_seqno=seqno,
+        lifetime=lifetime,
+    )
+    return _control_packet(header, src, BROADCAST, ttl=1)

@@ -1,0 +1,62 @@
+"""Routing-protocol interface.
+
+A routing protocol sits between the node's agents and its MAC: it chooses
+next hops for locally originated packets (:meth:`route_packet`), processes
+every packet the MAC delivers (:meth:`handle_packet` — local delivery,
+forwarding, or protocol control), and reacts to link-layer feedback.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.net.addresses import BROADCAST
+from repro.net.packet import Packet
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.node import Node
+
+
+class RoutingProtocol:
+    """Base class wiring a protocol to its node."""
+
+    def __init__(self, node: "Node") -> None:
+        self.node = node
+        self.env = node.env
+        node.set_routing(self)
+
+    @property
+    def address(self) -> int:
+        """This node's address."""
+        return self.node.address
+
+    def start(self) -> None:
+        """Start protocol timers/processes (default: nothing)."""
+
+    def route_packet(self, pkt: Packet) -> None:
+        """Route a locally originated packet."""
+        raise NotImplementedError
+
+    def handle_packet(self, pkt: Packet) -> None:
+        """Process a packet delivered by the MAC."""
+        raise NotImplementedError
+
+    def link_failed(self, pkt: Packet) -> None:
+        """MAC could not deliver ``pkt`` to its next hop (default: drop)."""
+        self.node.drop(pkt, "CBK")
+
+    def link_ok(self, pkt: Packet) -> None:
+        """MAC confirmed delivery of ``pkt`` (default: ignore)."""
+
+    # -- shared helpers ------------------------------------------------------
+
+    def _is_for_us(self, pkt: Packet) -> bool:
+        return pkt.ip.dst in (self.address, BROADCAST)
+
+    def _decrement_ttl(self, pkt: Packet) -> bool:
+        """Decrement TTL; returns False (and drops) if it expires."""
+        pkt.ip.ttl -= 1
+        if pkt.ip.ttl <= 0:
+            self.node.drop(pkt, "TTL")
+            return False
+        return True

@@ -1,0 +1,99 @@
+"""Routing table shared by AODV and DSDV."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.net.addresses import Address
+
+
+@dataclass
+class RouteEntry:
+    """One destination's routing state.
+
+    AODV semantics: an entry is *usable* only while valid and unexpired;
+    an invalidated entry retains its (incremented) sequence number so
+    stale information can never beat fresher news.
+    """
+
+    dst: Address
+    next_hop: Address
+    hop_count: int
+    seqno: int = 0
+    valid_seqno: bool = False
+    expires: float = float("inf")
+    valid: bool = True
+    #: Neighbours that route *through us* toward ``dst`` (RERR fan-out).
+    precursors: set[Address] = field(default_factory=set)
+
+    def is_usable(self, now: float) -> bool:
+        """True if this route may carry data right now."""
+        return self.valid and now < self.expires
+
+
+class RouteTable:
+    """Destination-indexed collection of :class:`RouteEntry`."""
+
+    def __init__(self) -> None:
+        self._entries: dict[Address, RouteEntry] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[RouteEntry]:
+        return iter(self._entries.values())
+
+    def __contains__(self, dst: Address) -> bool:
+        return dst in self._entries
+
+    def get(self, dst: Address) -> Optional[RouteEntry]:
+        """The entry for ``dst``, or None."""
+        return self._entries.get(dst)
+
+    def lookup(self, dst: Address, now: float) -> Optional[RouteEntry]:
+        """The entry for ``dst`` if it is usable right now, else None."""
+        entry = self._entries.get(dst)
+        if entry is not None and entry.is_usable(now):
+            return entry
+        return None
+
+    def upsert(self, entry: RouteEntry) -> RouteEntry:
+        """Insert or replace the entry for ``entry.dst``."""
+        self._entries[entry.dst] = entry
+        return entry
+
+    def remove(self, dst: Address) -> None:
+        """Delete the entry for ``dst`` if present."""
+        self._entries.pop(dst, None)
+
+    def invalidate(self, dst: Address, now: float, hold: float = 0.0) -> bool:
+        """Mark ``dst``'s route broken, bumping its seqno (AODV rules).
+
+        Returns True if a valid route was actually invalidated.  ``hold``
+        keeps the dead entry around (DELETE_PERIOD) so its seqno survives.
+        """
+        entry = self._entries.get(dst)
+        if entry is None or not entry.valid:
+            return False
+        entry.valid = False
+        entry.seqno += 1
+        entry.expires = now + hold
+        return True
+
+    def routes_via(self, next_hop: Address) -> list[RouteEntry]:
+        """All valid routes whose next hop is ``next_hop``."""
+        return [
+            e for e in self._entries.values() if e.valid and e.next_hop == next_hop
+        ]
+
+    def purge_expired(self, now: float, grace: float = 0.0) -> int:
+        """Drop entries expired more than ``grace`` seconds ago."""
+        stale = [
+            dst
+            for dst, e in self._entries.items()
+            if now >= e.expires + grace
+        ]
+        for dst in stale:
+            del self._entries[dst]
+        return len(stale)

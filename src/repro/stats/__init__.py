@@ -1,0 +1,41 @@
+"""Metrics: one-way delay, throughput, and confidence analysis."""
+
+from repro.stats.confidence import ConfidenceResult, mean_confidence_interval
+from repro.stats.delay import DelaySample, DelaySeries, delays_from_trace
+from repro.stats.metrics import (
+    DeliveryStats,
+    hop_count_stats,
+    jitter_summary,
+    packet_delivery_ratio,
+    rfc3550_jitter,
+    routing_overhead,
+)
+from repro.stats.recorder import ThroughputRecorder
+from repro.stats.summary import (
+    SeriesSummary,
+    percentile,
+    percentiles,
+    summarize,
+)
+from repro.stats.throughput import ThroughputSample, ThroughputSeries
+
+__all__ = [
+    "ConfidenceResult",
+    "DelaySample",
+    "DeliveryStats",
+    "hop_count_stats",
+    "jitter_summary",
+    "packet_delivery_ratio",
+    "percentile",
+    "percentiles",
+    "rfc3550_jitter",
+    "routing_overhead",
+    "DelaySeries",
+    "SeriesSummary",
+    "ThroughputRecorder",
+    "ThroughputSample",
+    "ThroughputSeries",
+    "delays_from_trace",
+    "mean_confidence_interval",
+    "summarize",
+]

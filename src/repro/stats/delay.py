@@ -1,0 +1,151 @@
+"""One-way delay analysis (the paper's Figs. 5/6/8/9/11-14).
+
+The paper plots per-packet one-way delay against packet ID, identifies a
+*transient state* (route discovery + TCP ramp-up) followed by a *steady
+state*, and reports avg/min/max per receiving vehicle.  This module
+reproduces that pipeline from sink records or from a parsed trace file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+from repro.stats.summary import SeriesSummary, summarize
+from repro.trace.events import TraceRecord
+
+
+@dataclass(frozen=True)
+class DelaySample:
+    """One received packet's delay, indexed by packet ID."""
+
+    packet_id: int
+    sent_at: float
+    received_at: float
+
+    @property
+    def delay(self) -> float:
+        """One-way delay, seconds."""
+        return self.received_at - self.sent_at
+
+
+class DelaySeries:
+    """Ordered per-packet one-way delays with transient/steady analysis."""
+
+    def __init__(self, samples: Sequence[DelaySample]) -> None:
+        self.samples = list(samples)
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def __iter__(self):
+        return iter(self.samples)
+
+    @classmethod
+    def from_records(cls, records: Iterable) -> "DelaySeries":
+        """Build from sink ``ReceivedRecord`` objects (seqno → packet ID)."""
+        samples = [
+            DelaySample(
+                packet_id=index,
+                sent_at=rec.sent_at,
+                received_at=rec.received_at,
+            )
+            for index, rec in enumerate(records)
+        ]
+        return cls(samples)
+
+    @property
+    def delays(self) -> list[float]:
+        """Just the delay values, in packet-ID order."""
+        return [s.delay for s in self.samples]
+
+    def summary(self) -> SeriesSummary:
+        """avg/min/max over the whole series."""
+        return summarize(self.delays)
+
+    def percentiles(
+        self, qs: Sequence[float] = (50.0, 95.0, 99.0)
+    ) -> dict[float, float]:
+        """Tail percentiles of the delay distribution."""
+        from repro.stats.summary import percentiles as _percentiles
+
+        return _percentiles(self.delays, qs)
+
+    @property
+    def initial_delay(self) -> float:
+        """Delay of the very first packet — the paper's safety-analysis
+        input (first indication that the lead vehicle is braking)."""
+        if not self.samples:
+            raise ValueError("empty delay series")
+        return self.samples[0].delay
+
+    # -- transient / steady-state split ---------------------------------------
+
+    def transient_length(
+        self, window: int = 10, tolerance: float = 0.25
+    ) -> int:
+        """Number of leading packets in the transient state.
+
+        The steady state begins at the first packet where the
+        ``window``-packet moving average stays within ``tolerance``
+        (relative) of the tail average for the rest of the series.  Falls
+        back to half the series if no knee is found.
+        """
+        n = len(self.samples)
+        if n < 2 * window:
+            return 0
+        delays = self.delays
+        tail = delays[n // 2 :]
+        target = sum(tail) / len(tail)
+        if target <= 0:
+            return 0
+        for start in range(0, n - window):
+            avg = sum(delays[start : start + window]) / window
+            if abs(avg - target) <= tolerance * target:
+                return start
+        return n // 2
+
+    def transient(self, window: int = 10, tolerance: float = 0.25) -> "DelaySeries":
+        """The transient-state prefix (Figs. 6/9/12/14)."""
+        return DelaySeries(self.samples[: self.transient_length(window, tolerance)])
+
+    def steady_state(
+        self, window: int = 10, tolerance: float = 0.25
+    ) -> "DelaySeries":
+        """The steady-state suffix."""
+        return DelaySeries(self.samples[self.transient_length(window, tolerance) :])
+
+    def steady_state_level(self) -> float:
+        """Average delay once the series has settled."""
+        steady = self.steady_state()
+        series = steady if len(steady) else self
+        return series.summary().average
+
+
+def delays_from_trace(
+    records: Iterable[TraceRecord],
+    dst_node: int,
+    ptype: str = "tcp",
+    src_node: Optional[int] = None,
+) -> DelaySeries:
+    """Offline delay computation by trace parsing (the authors' method).
+
+    Pairs each agent-layer reception at ``dst_node`` with the packet's
+    originating timestamp carried in the trace line.
+    """
+    samples = []
+    index = 0
+    for rec in records:
+        if rec.event != "r" or rec.layer != "AGT" or rec.node != dst_node:
+            continue
+        if rec.ptype != ptype:
+            continue
+        if src_node is not None and rec.src != src_node:
+            continue
+        samples.append(
+            DelaySample(
+                packet_id=index, sent_at=rec.timestamp, received_at=rec.time
+            )
+        )
+        index += 1
+    return DelaySeries(samples)

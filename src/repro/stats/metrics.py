@@ -1,0 +1,131 @@
+"""Additional network metrics beyond the paper's delay/throughput pair.
+
+* :func:`rfc3550_jitter` — the RTP interarrival-jitter estimator.
+* :func:`delay_jitter_series` — per-packet delay variation.
+* :func:`packet_delivery_ratio` — delivered / originated, from a trace.
+* :func:`hop_count_stats` — forwarding path lengths, from a trace.
+* :func:`routing_overhead` — control bytes per delivered data byte.
+
+These are the metrics VANET follow-up studies routinely add; they all
+work off the same sink records / trace files as the paper's metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+from repro.stats.delay import DelaySeries
+from repro.stats.summary import SeriesSummary, summarize
+from repro.trace.events import TraceRecord
+
+#: Packet types counted as routing control traffic.
+CONTROL_PTYPES = ("aodv", "dsdv")
+#: Packet types counted as application data.
+DATA_PTYPES = ("tcp", "cbr", "udp", "ebl")
+
+
+def delay_jitter_series(delays: DelaySeries) -> list[float]:
+    """Absolute successive delay differences |d_i - d_{i-1}|."""
+    values = delays.delays
+    return [abs(b - a) for a, b in zip(values, values[1:])]
+
+
+def jitter_summary(delays: DelaySeries) -> SeriesSummary:
+    """avg/min/max of the delay-variation series."""
+    series = delay_jitter_series(delays)
+    if not series:
+        raise ValueError("need at least two delay samples for jitter")
+    return summarize(series)
+
+
+def rfc3550_jitter(delays: DelaySeries) -> float:
+    """RFC 3550 §6.4.1 smoothed interarrival jitter, seconds.
+
+    ``J += (|D(i-1, i)| - J) / 16`` with D the delay difference between
+    consecutive packets.
+    """
+    jitter = 0.0
+    values = delays.delays
+    for previous, current in zip(values, values[1:]):
+        jitter += (abs(current - previous) - jitter) / 16.0
+    return jitter
+
+
+@dataclass(frozen=True)
+class DeliveryStats:
+    """Origination/delivery accounting for one traffic class."""
+
+    originated: int
+    delivered: int
+    dropped: int
+
+    @property
+    def ratio(self) -> float:
+        """Delivered / originated (1.0 when nothing was originated)."""
+        if self.originated == 0:
+            return 1.0
+        return self.delivered / self.originated
+
+
+def packet_delivery_ratio(
+    records: Iterable[TraceRecord],
+    ptypes: Sequence[str] = DATA_PTYPES,
+    src_node: Optional[int] = None,
+) -> DeliveryStats:
+    """PDR computed the trace way: unique uids sent at AGT vs received.
+
+    Retransmissions share a uid with the original, so counting unique
+    uids avoids over-counting originations.
+    """
+    sent: set[int] = set()
+    received: set[int] = set()
+    dropped = 0
+    for rec in records:
+        if rec.ptype not in ptypes:
+            continue
+        if rec.event == "s" and rec.layer == "AGT":
+            if src_node is None or rec.node == src_node:
+                sent.add(rec.uid)
+        elif rec.event == "r" and rec.layer == "AGT":
+            received.add(rec.uid)
+        elif rec.event == "D":
+            dropped += 1
+    return DeliveryStats(
+        originated=len(sent),
+        delivered=len(sent & received),
+        dropped=dropped,
+    )
+
+
+def hop_count_stats(records: Iterable[TraceRecord]) -> SeriesSummary:
+    """Path lengths of delivered data packets (1 + forward events)."""
+    forwards: dict[int, int] = {}
+    delivered: list[int] = []
+    for rec in records:
+        if rec.ptype not in DATA_PTYPES:
+            continue
+        if rec.event == "f":
+            forwards[rec.uid] = forwards.get(rec.uid, 0) + 1
+        elif rec.event == "r" and rec.layer == "AGT":
+            delivered.append(rec.uid)
+    if not delivered:
+        raise ValueError("no delivered data packets in the trace")
+    return summarize([1 + forwards.get(uid, 0) for uid in delivered])
+
+
+def routing_overhead(records: Iterable[TraceRecord]) -> float:
+    """Control bytes transmitted per data byte delivered (lower = better).
+
+    Returns ``inf`` when control traffic exists but no data arrived.
+    """
+    control_bytes = 0
+    data_bytes = 0
+    for rec in records:
+        if rec.event == "s" and rec.layer == "RTR" and rec.ptype in CONTROL_PTYPES:
+            control_bytes += rec.size
+        elif rec.event == "r" and rec.layer == "AGT" and rec.ptype in DATA_PTYPES:
+            data_bytes += rec.size
+    if data_bytes == 0:
+        return float("inf") if control_bytes else 0.0
+    return control_bytes / data_bytes

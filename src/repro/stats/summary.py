@@ -1,0 +1,61 @@
+"""Summaries: the paper's avg/min/max triple plus tail percentiles."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class SeriesSummary:
+    """avg/min/max of a series (the triple the paper tabulates)."""
+
+    count: int
+    average: float
+    minimum: float
+    maximum: float
+
+    def __str__(self) -> str:
+        return (
+            f"n={self.count} avg={self.average:.4f} "
+            f"min={self.minimum:.4f} max={self.maximum:.4f}"
+        )
+
+
+def summarize(values: Sequence[float]) -> SeriesSummary:
+    """Summarise a non-empty sequence of values."""
+    if not values:
+        raise ValueError("cannot summarize an empty series")
+    return SeriesSummary(
+        count=len(values),
+        average=sum(values) / len(values),
+        minimum=min(values),
+        maximum=max(values),
+    )
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (0-100) by linear interpolation.
+
+    Safety analyses care about the delay *tail* (p95/p99 of the warning
+    latency), which avg/min/max hides.
+    """
+    if not values:
+        raise ValueError("cannot take a percentile of an empty series")
+    if not 0 <= q <= 100:
+        raise ValueError("q must be in [0, 100]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = q / 100.0 * (len(ordered) - 1)
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    frac = rank - low
+    return ordered[low] * (1.0 - frac) + ordered[high] * frac
+
+
+def percentiles(
+    values: Sequence[float], qs: Sequence[float] = (50.0, 95.0, 99.0)
+) -> dict[float, float]:
+    """Several percentiles at once (default: the latency-tail trio)."""
+    return {q: percentile(values, q) for q in qs}

@@ -1,0 +1,74 @@
+"""Throughput time series (the paper's Figs. 7/10/15)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.stats.summary import SeriesSummary, summarize
+
+
+@dataclass(frozen=True)
+class ThroughputSample:
+    """Throughput over one sampling interval ending at ``time``."""
+
+    time: float
+    mbps: float
+
+
+class ThroughputSeries:
+    """Time-ordered throughput samples in Mbit/s."""
+
+    def __init__(self, samples: Sequence[ThroughputSample]) -> None:
+        self.samples = list(samples)
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def __iter__(self):
+        return iter(self.samples)
+
+    @property
+    def times(self) -> list[float]:
+        """Sample times, seconds."""
+        return [s.time for s in self.samples]
+
+    @property
+    def values(self) -> list[float]:
+        """Sample values, Mbit/s."""
+        return [s.mbps for s in self.samples]
+
+    def summary(self) -> SeriesSummary:
+        """avg/min/max over all samples (the paper's reported triple)."""
+        return summarize(self.values)
+
+    def busy_summary(self) -> SeriesSummary:
+        """avg/min/max over the samples after traffic first appears.
+
+        The paper's plots include a leading idle period (vehicles not yet
+        communicating); its min of "0 Mbps" comes from brief stalls during
+        the active phase, so analyses sometimes want the active window
+        only.
+        """
+        active = self.values
+        first = next((i for i, v in enumerate(active) if v > 0), None)
+        if first is None:
+            return self.summary()
+        return summarize(active[first:])
+
+    def start_of_traffic(self) -> float:
+        """Time of the first non-zero sample (Fig. 7's "begin communicating
+        at approximately N seconds" observation)."""
+        for sample in self.samples:
+            if sample.mbps > 0:
+                return sample.time
+        return float("inf")
+
+    def total_megabits(self) -> float:
+        """Integral of the series: total traffic carried, Mbit."""
+        total = 0.0
+        prev_time = 0.0
+        for sample in self.samples:
+            total += sample.mbps * (sample.time - prev_time)
+            prev_time = sample.time
+        return total

@@ -1,0 +1,14 @@
+"""ns-2-style tracing: in-memory records, text trace files, NAM output."""
+
+from repro.trace.events import TraceRecord
+from repro.trace.nam import NamTraceWriter
+from repro.trace.parser import parse_trace_file, parse_trace_line
+from repro.trace.writer import Tracer
+
+__all__ = [
+    "NamTraceWriter",
+    "TraceRecord",
+    "Tracer",
+    "parse_trace_file",
+    "parse_trace_line",
+]

@@ -1,0 +1,40 @@
+"""Trace record structure."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass
+class TraceRecord:
+    """One trace line: a packet event at a node and layer.
+
+    Events follow ns-2's convention:
+
+    * ``s`` — sent at this layer
+    * ``r`` — received at this layer
+    * ``f`` — forwarded by the routing layer
+    * ``D`` — dropped (the layer field then carries the drop reason)
+    """
+
+    event: str
+    time: float
+    node: int
+    layer: str
+    uid: int
+    ptype: str
+    size: int
+    src: int
+    dst: int
+    sport: int = 0
+    dport: int = 0
+    seqno: Optional[int] = None
+    timestamp: float = 0.0
+
+    #: Events considered valid in a trace.
+    EVENTS = ("s", "r", "f", "D")
+
+    def __post_init__(self) -> None:
+        if self.event not in self.EVENTS:
+            raise ValueError(f"unknown trace event {self.event!r}")

@@ -1,0 +1,61 @@
+"""Parse trace lines back into :class:`TraceRecord` objects.
+
+This closes the loop the paper used: simulate → write trace file →
+parse offline → compute delay statistics.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import IO, Iterable, Iterator, Union
+
+from repro.trace.events import TraceRecord
+
+_LINE_RE = re.compile(
+    r"^(?P<event>[srfD]) "
+    r"(?P<time>\d+\.\d+) "
+    r"_(?P<node>\d+)_ "
+    r"(?P<layer>\S+) --- "
+    r"(?P<uid>\d+) "
+    r"(?P<ptype>\S+) "
+    r"(?P<size>\d+) "
+    r"\[(?P<src>-?\d+):(?P<sport>\d+) (?P<dst>-?\d+):(?P<dport>\d+)\] "
+    r"\{seq (?P<seqno>-|-?\d+) ts (?P<timestamp>\d+\.\d+)\}$"
+)
+
+
+class TraceParseError(ValueError):
+    """Raised when a trace line does not match the expected format."""
+
+
+def parse_trace_line(line: str) -> TraceRecord:
+    """Parse one trace line."""
+    match = _LINE_RE.match(line.strip())
+    if match is None:
+        raise TraceParseError(f"malformed trace line: {line!r}")
+    seq = match["seqno"]
+    return TraceRecord(
+        event=match["event"],
+        time=float(match["time"]),
+        node=int(match["node"]),
+        layer=match["layer"],
+        uid=int(match["uid"]),
+        ptype=match["ptype"],
+        size=int(match["size"]),
+        src=int(match["src"]),
+        dst=int(match["dst"]),
+        sport=int(match["sport"]),
+        dport=int(match["dport"]),
+        seqno=None if seq == "-" else int(seq),
+        timestamp=float(match["timestamp"]),
+    )
+
+
+def parse_trace_file(source: Union[IO[str], Iterable[str]]) -> list[TraceRecord]:
+    """Parse every non-empty line of a trace stream."""
+    records = []
+    for line in source:
+        line = line.strip()
+        if line:
+            records.append(parse_trace_line(line))
+    return records

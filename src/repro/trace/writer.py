@@ -1,0 +1,113 @@
+"""The tracer: collects :class:`TraceRecord` objects and renders trace lines.
+
+The authors of the paper computed one-way and maximum delay "offline by
+parsing the trace file"; :mod:`repro.stats.delay` does the same against
+either the in-memory records or a parsed file.
+"""
+
+from __future__ import annotations
+
+from typing import IO, Iterable, Optional
+
+from repro.net.packet import Packet
+from repro.trace.events import TraceRecord
+
+
+def format_trace_line(rec: TraceRecord) -> str:
+    """Render a record in our ns-2-flavoured single-line format::
+
+        s 1.234567890 _0_ AGT --- 17 tcp 1040 [0:1 2:1] {seq 5 ts 1.2345}
+    """
+    seq = rec.seqno if rec.seqno is not None else "-"
+    return (
+        f"{rec.event} {rec.time:.9f} _{rec.node}_ {rec.layer} --- "
+        f"{rec.uid} {rec.ptype} {rec.size} "
+        f"[{rec.src}:{rec.sport} {rec.dst}:{rec.dport}] "
+        f"{{seq {seq} ts {rec.timestamp:.9f}}}"
+    )
+
+
+class Tracer:
+    """Collects packet events from every node in a simulation.
+
+    Parameters
+    ----------
+    stream:
+        Optional text stream; when given, each record is also written as a
+        formatted trace line (the equivalent of ns-2's trace file).
+    """
+
+    def __init__(self, stream: Optional[IO[str]] = None) -> None:
+        self.records: list[TraceRecord] = []
+        self.stream = stream
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def record(
+        self, event: str, time: float, node: int, layer: str, pkt: Packet
+    ) -> None:
+        """Record one packet event (called by nodes and MACs)."""
+        seqno = None
+        tcp = pkt.headers.get("tcp")
+        if tcp is not None:
+            seqno = tcp.ackno if tcp.is_ack else tcp.seqno
+        else:
+            udp = pkt.headers.get("udp")
+            if udp is not None:
+                seqno = udp.seqno
+        rec = TraceRecord(
+            event=event,
+            time=time,
+            node=node,
+            layer=layer,
+            uid=pkt.uid,
+            ptype=pkt.ptype.value,
+            size=pkt.size,
+            src=pkt.ip.src,
+            dst=pkt.ip.dst,
+            sport=pkt.ip.sport,
+            dport=pkt.ip.dport,
+            seqno=seqno,
+            timestamp=pkt.timestamp,
+        )
+        self.records.append(rec)
+        if self.stream is not None:
+            self.stream.write(format_trace_line(rec) + "\n")
+
+    # -- queries used by the offline analysis --------------------------------
+
+    def filter(
+        self,
+        event: Optional[str] = None,
+        node: Optional[int] = None,
+        layer: Optional[str] = None,
+        ptype: Optional[str] = None,
+    ) -> list[TraceRecord]:
+        """Records matching all the given criteria."""
+        out = []
+        for rec in self.records:
+            if event is not None and rec.event != event:
+                continue
+            if node is not None and rec.node != node:
+                continue
+            if layer is not None and rec.layer != layer:
+                continue
+            if ptype is not None and rec.ptype != ptype:
+                continue
+            out.append(rec)
+        return out
+
+    def agent_receptions(self, node: int, ptype: str = "tcp") -> list[TraceRecord]:
+        """Data packets delivered to ``node``'s agents, in arrival order."""
+        return self.filter(event="r", node=node, layer="AGT", ptype=ptype)
+
+    def drops(self) -> list[TraceRecord]:
+        """All drop events."""
+        return self.filter(event="D")
+
+    def write(self, stream: IO[str]) -> int:
+        """Dump all collected records as trace lines; returns line count."""
+        for rec in self.records:
+            stream.write(format_trace_line(rec) + "\n")
+        return len(self.records)

@@ -1,0 +1,28 @@
+"""Transport agents (TCP/UDP) and traffic applications (FTP/CBR)."""
+
+from repro.transport.agents import Agent
+from repro.transport.apps import CbrApp, FtpApp, OnOffApp
+from repro.transport.tcp import (
+    TCP_VARIANTS,
+    TcpAgent,
+    TcpNewReno,
+    TcpParams,
+    TcpSink,
+    TcpTahoe,
+)
+from repro.transport.udp import UdpAgent, UdpSink
+
+__all__ = [
+    "Agent",
+    "CbrApp",
+    "FtpApp",
+    "OnOffApp",
+    "TCP_VARIANTS",
+    "TcpAgent",
+    "TcpNewReno",
+    "TcpParams",
+    "TcpSink",
+    "TcpTahoe",
+    "UdpAgent",
+    "UdpSink",
+]

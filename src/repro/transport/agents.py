@@ -1,0 +1,53 @@
+"""Transport agent base class."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.net.addresses import Address
+from repro.net.packet import Packet
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.node import Node
+
+
+class Agent:
+    """A transport endpoint bound to a node and local port.
+
+    Mirrors ns-2's ``Agent``: it knows its node, its local port, and —
+    once :meth:`connect` has been called — the remote (address, port) it
+    exchanges packets with.
+    """
+
+    def __init__(self, node: "Node", local_port: int) -> None:
+        self.node = node
+        self.env = node.env
+        self.local_port = local_port
+        self.remote_addr: Optional[Address] = None
+        self.remote_port: Optional[int] = None
+        node.add_agent(local_port, self)
+
+    @property
+    def address(self) -> Address:
+        """The owning node's address."""
+        return self.node.address
+
+    @property
+    def connected(self) -> bool:
+        """True once :meth:`connect` has fixed the remote endpoint."""
+        return self.remote_addr is not None
+
+    def connect(self, remote_addr: Address, remote_port: int) -> None:
+        """Bind the remote endpoint (like ns-2's ``$ns connect``)."""
+        self.remote_addr = remote_addr
+        self.remote_port = remote_port
+
+    def _require_connected(self) -> None:
+        if not self.connected:
+            raise RuntimeError(
+                f"agent on node {self.address}:{self.local_port} is not connected"
+            )
+
+    def receive(self, pkt: Packet) -> None:
+        """Handle a packet delivered to this agent's port."""
+        raise NotImplementedError

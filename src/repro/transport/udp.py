@@ -1,0 +1,101 @@
+"""UDP agent and sink."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, Optional
+
+from repro.net.addresses import Address
+from repro.net.headers import IpHeader, UdpHeader
+from repro.net.packet import Packet, PacketType
+from repro.transport.agents import Agent
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.node import Node
+
+
+@dataclass
+class ReceivedRecord:
+    """One packet observed at a sink (shared by UDP and TCP sinks)."""
+
+    seqno: int
+    size: int
+    sent_at: float
+    received_at: float
+
+    @property
+    def delay(self) -> float:
+        """One-way delay of this packet, seconds."""
+        return self.received_at - self.sent_at
+
+
+class UdpAgent(Agent):
+    """Connectionless datagram sender/receiver."""
+
+    def __init__(self, node: "Node", local_port: int) -> None:
+        super().__init__(node, local_port)
+        self._seqno = 0
+        self.bytes_sent = 0
+        self.packets_sent = 0
+        #: Optional upcall for received datagrams: fn(pkt).
+        self.recv_callback: Optional[Callable[[Packet], None]] = None
+
+    def send(
+        self,
+        payload: int,
+        headers: Optional[dict[str, Any]] = None,
+        ptype: PacketType = PacketType.CBR,
+    ) -> Packet:
+        """Send ``payload`` application bytes to the connected remote."""
+        self._require_connected()
+        if payload <= 0:
+            raise ValueError("payload must be positive")
+        header = UdpHeader(seqno=self._seqno, payload=payload)
+        self._seqno += 1
+        pkt = Packet(
+            ptype=ptype,
+            size=payload + UdpHeader.WIRE_SIZE + IpHeader.WIRE_SIZE,
+            ip=IpHeader(
+                src=self.address,
+                dst=self.remote_addr,
+                sport=self.local_port,
+                dport=self.remote_port,
+            ),
+            headers={"udp": header, **(headers or {})},
+            timestamp=self.env.now,
+        )
+        self.bytes_sent += pkt.size
+        self.packets_sent += 1
+        self.node.send(pkt)
+        return pkt
+
+    def receive(self, pkt: Packet) -> None:
+        if self.recv_callback is not None:
+            self.recv_callback(pkt)
+
+
+class UdpSink(Agent):
+    """Datagram receiver that records arrivals for analysis."""
+
+    def __init__(self, node: "Node", local_port: int) -> None:
+        super().__init__(node, local_port)
+        self.bytes = 0
+        self.packets = 0
+        self.records: list[ReceivedRecord] = []
+        self.recv_callback: Optional[Callable[[Packet], None]] = None
+
+    def receive(self, pkt: Packet) -> None:
+        header = pkt.headers.get("udp")
+        seqno = header.seqno if header is not None else self.packets
+        self.bytes += pkt.size
+        self.packets += 1
+        self.records.append(
+            ReceivedRecord(
+                seqno=seqno,
+                size=pkt.size,
+                sent_at=pkt.timestamp,
+                received_at=self.env.now,
+            )
+        )
+        if self.recv_callback is not None:
+            self.recv_callback(pkt)

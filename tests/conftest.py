@@ -1,0 +1,85 @@
+"""Shared fixtures: small pre-wired network topologies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.des import Environment
+from repro.mac.csma import CsmaMac
+from repro.mac.dcf import Dcf80211Mac
+from repro.mac.tdma import TdmaMac, TdmaParams
+from repro.mobility.base import StationaryMobility
+from repro.net.channel import WirelessChannel
+from repro.net.node import Node
+from repro.routing.static_routing import StaticRouting
+
+
+@pytest.fixture
+def env():
+    """A fresh simulation environment."""
+    return Environment()
+
+
+def make_dcf_factory():
+    """MAC factory for 802.11 DCF nodes."""
+    return lambda env, addr, phy, ifq: Dcf80211Mac(env, addr, phy, ifq)
+
+
+def make_tdma_factory(num_slots: int):
+    """MAC factory for TDMA nodes with a fixed frame size."""
+    return lambda env, addr, phy, ifq: TdmaMac(
+        env, addr, phy, ifq, TdmaParams(num_slots=num_slots)
+    )
+
+
+def make_csma_factory():
+    """MAC factory for CSMA nodes."""
+    return lambda env, addr, phy, ifq: CsmaMac(env, addr, phy, ifq)
+
+
+def build_line_topology(
+    env,
+    count: int,
+    spacing: float = 100.0,
+    mac_factory=None,
+    routing_factory=None,
+    tracer=None,
+):
+    """``count`` static nodes in a line, ``spacing`` metres apart.
+
+    Returns (channel, nodes).  Default MAC is DCF; default routing is
+    static with single-hop next hops (suitable when all nodes are in
+    range) — pass a routing_factory for anything smarter.
+    """
+    channel = WirelessChannel(env)
+    mac_factory = mac_factory or make_dcf_factory()
+    nodes = []
+    for address in range(count):
+        node = Node(
+            env,
+            address,
+            StationaryMobility(address * spacing, 0.0),
+            channel,
+            mac_factory,
+            tracer=tracer,
+        )
+        if routing_factory is None:
+            StaticRouting(node)
+        else:
+            routing_factory(node)
+        nodes.append(node)
+    return channel, nodes
+
+
+def start_all(nodes):
+    """Start every node."""
+    for node in nodes:
+        node.start()
+
+
+@pytest.fixture
+def two_dcf_nodes(env):
+    """Two DCF nodes 100 m apart with static routing, started."""
+    channel, nodes = build_line_topology(env, 2)
+    start_all(nodes)
+    return channel, nodes

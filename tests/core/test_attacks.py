@@ -1,0 +1,143 @@
+"""Tests for the DoS jammer and the FHSS mitigation model."""
+
+import pytest
+
+from repro.core.attacks import JammerApp, fhss_effective_loss
+from repro.des import Environment
+from repro.mac.dcf import Dcf80211Mac
+from repro.mobility.base import StationaryMobility
+from repro.net.channel import WirelessChannel
+from repro.net.node import Node
+from repro.routing.static_routing import StaticRouting
+from repro.transport.apps import FtpApp
+from repro.transport.tcp import TcpAgent, TcpSink
+
+
+def build_pair(env, channel):
+    nodes = []
+    for address, x in ((0, 0.0), (1, 100.0)):
+        node = Node(env, address, StationaryMobility(x, 0.0), channel,
+                    lambda e, a, p, q: Dcf80211Mac(e, a, p, q))
+        StaticRouting(node)
+        nodes.append(node)
+        node.start()
+    tcp = TcpAgent(nodes[0], 1)
+    sink = TcpSink(nodes[1], 1)
+    tcp.connect(1, 1)
+    sink.connect(0, 1)
+    return nodes, tcp, sink
+
+
+def test_jammer_parameter_validation():
+    env = Environment()
+    channel = WirelessChannel(env)
+    with pytest.raises(ValueError):
+        JammerApp(env, channel, (0, 0), duty_cycle=0.0)
+    with pytest.raises(ValueError):
+        JammerApp(env, channel, (0, 0), duty_cycle=1.5)
+    with pytest.raises(ValueError):
+        JammerApp(env, channel, (0, 0), period=0)
+    with pytest.raises(ValueError):
+        JammerApp(env, channel, (0, 0), noise_size=0)
+
+
+def test_jammer_emits_frames():
+    env = Environment()
+    channel = WirelessChannel(env)
+    jammer = JammerApp(env, channel, (0.0, 0.0))
+    jammer.start(at=0.0)
+
+    def stopper(env):
+        yield env.timeout(0.5)
+        jammer.stop()
+
+    env.process(stopper(env))
+    env.run(until=1.0)
+    expected = 0.5 / jammer.frame_airtime
+    assert jammer.frames_emitted == pytest.approx(expected, rel=0.05)
+
+
+def test_continuous_jamming_silences_dcf():
+    """A continuous jammer near the receiver kills the stream: DCF defers
+    forever and anything transmitted collides."""
+    env = Environment()
+    channel = WirelessChannel(env)
+    nodes, tcp, sink = build_pair(env, channel)
+    jammer = JammerApp(env, channel, (50.0, 0.0))
+    FtpApp(tcp).start(at=0.1)
+    jammer.start(at=2.0)
+    env.run(until=2.0)
+    healthy = sink.delivered_segments
+    env.run(until=8.0)
+    jammed = sink.delivered_segments - healthy
+    assert healthy > 100
+    assert jammed <= 3  # essentially nothing gets through
+
+
+def test_duty_cycled_jamming_degrades_but_does_not_kill():
+    env = Environment()
+    channel = WirelessChannel(env)
+    nodes, tcp, sink = build_pair(env, channel)
+    jammer = JammerApp(env, channel, (50.0, 0.0), duty_cycle=0.3,
+                       period=0.2)
+    FtpApp(tcp).start(at=0.1)
+    jammer.start(at=2.0)
+    env.run(until=2.0)
+    healthy_rate = sink.delivered_segments / 1.9
+    env.run(until=10.0)
+    jammed_rate = (sink.delivered_segments - healthy_rate * 1.9) / 8.0
+    assert 0 < jammed_rate < healthy_rate
+
+
+def test_jammer_stop_restores_service():
+    env = Environment()
+    channel = WirelessChannel(env)
+    nodes, tcp, sink = build_pair(env, channel)
+    jammer = JammerApp(env, channel, (50.0, 0.0))
+    FtpApp(tcp).start(at=0.1)
+    jammer.start(at=1.0)
+
+    def ceasefire(env):
+        yield env.timeout(4.0)
+        jammer.stop()
+
+    env.process(ceasefire(env))
+    env.run(until=10.0)
+    late = [r for r in sink.records if r.received_at > 5.0]
+    assert late, "service never recovered after the jammer stopped"
+
+
+# -- FHSS mitigation model -------------------------------------------------------
+
+
+def test_fhss_effective_loss_math():
+    assert fhss_effective_loss(1) == 1.0
+    assert fhss_effective_loss(10) == pytest.approx(0.1)
+    assert fhss_effective_loss(79, jammer_channels=0) == 0.0
+    assert fhss_effective_loss(4, jammer_channels=2) == pytest.approx(0.5)
+
+
+def test_fhss_effective_loss_validation():
+    with pytest.raises(ValueError):
+        fhss_effective_loss(0)
+    with pytest.raises(ValueError):
+        fhss_effective_loss(4, jammer_channels=5)
+
+
+def test_fhss_mitigated_ebl_survives_jamming_rate():
+    """FHSS over 10 channels turns a fatal jammer into a 10% frame-loss
+    channel — which the EBL stream tolerates (X4 established this)."""
+    from repro.core.analysis import analyze_trial
+    from repro.core.runner import run_trial
+    from repro.core.trials import TRIAL_3
+
+    rate = fhss_effective_loss(10)
+    analysis = analyze_trial(
+        run_trial(
+            TRIAL_3.with_overrides(
+                duration=15.0, error_rate=rate, enable_trace=False
+            )
+        )
+    )
+    assert analysis.throughput.average > 0.3
+    assert analysis.safety.gap_fraction_consumed < 0.05

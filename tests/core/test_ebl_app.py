@@ -1,0 +1,155 @@
+"""Tests for the EBL applications (TCP streams and UDP warnings)."""
+
+import pytest
+
+from repro.core.ebl import EblApplication, EblWarningApp
+from repro.core.vehicle import Vehicle
+from repro.des import Environment
+from repro.mac.dcf import Dcf80211Mac
+from repro.mobility.waypoint import WaypointMobility
+from repro.net.channel import WirelessChannel
+from repro.net.node import Node
+from repro.net.packet import PacketType
+from repro.routing.static_routing import StaticRouting
+from repro.transport.udp import UdpSink
+
+
+def build_vehicles(env, count=3, spacing=25.0):
+    channel = WirelessChannel(env)
+    vehicles = []
+    for i in range(count):
+        mobility = WaypointMobility(0.0, -spacing * i)
+        node = Node(env, i, mobility, channel,
+                    lambda e, a, p, q: Dcf80211Mac(e, a, p, q))
+        StaticRouting(node)
+        vehicles.append(Vehicle(env, node, mobility))
+    return vehicles
+
+
+def start(vehicles):
+    for v in vehicles:
+        v.node.start()
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+def test_ebl_requires_followers(env):
+    vehicles = build_vehicles(env, 1)
+    with pytest.raises(ValueError):
+        EblApplication(vehicles[0], [])
+
+
+def test_no_traffic_before_braking(env):
+    vehicles = build_vehicles(env)
+    app = EblApplication(vehicles[0], vehicles[1:])
+    start(vehicles)
+    env.run(until=2.0)
+    assert all(sink.packets == 0 for sink in app.sinks)
+
+
+def test_traffic_flows_while_braking(env):
+    vehicles = build_vehicles(env)
+    app = EblApplication(vehicles[0], vehicles[1:])
+    start(vehicles)
+    vehicles[0].schedule_braking(1.0, None)
+    env.run(until=4.0)
+    assert all(sink.packets > 0 for sink in app.sinks)
+    assert app.episodes == 1
+    # Both flows are lead -> follower.
+    for flow in app.flows:
+        assert flow.sender.address == 0
+        assert flow.delivered_segments > 0
+
+
+def test_traffic_stops_on_brake_release(env):
+    vehicles = build_vehicles(env)
+    app = EblApplication(vehicles[0], vehicles[1:])
+    start(vehicles)
+    vehicles[0].schedule_braking(1.0, 3.0)
+    env.run(until=3.5)
+    counts = [sink.packets for sink in app.sinks]
+    env.run(until=8.0)
+    # A couple of in-flight segments may still land right at release; the
+    # stream must not keep growing afterwards.
+    assert all(
+        sink.packets <= count + 2 for sink, count in zip(app.sinks, counts)
+    )
+
+
+def test_second_braking_episode_resumes(env):
+    vehicles = build_vehicles(env)
+    app = EblApplication(vehicles[0], vehicles[1:])
+    start(vehicles)
+    vehicles[0].schedule_braking(1.0, 2.0)
+    vehicles[0].schedule_braking(4.0, 5.0)
+    env.run(until=8.0)
+    assert app.episodes == 2
+    late = [
+        r for sink in app.sinks for r in sink.records if r.received_at > 4.0
+    ]
+    assert late, "no traffic during the second episode"
+
+
+def test_cbr_mode_paces_traffic(env):
+    vehicles = build_vehicles(env)
+    app = EblApplication(
+        vehicles[0], vehicles[1:], packet_size=500, cbr_interval=0.5
+    )
+    start(vehicles)
+    vehicles[0].schedule_braking(1.0, None)
+    env.run(until=6.0)
+    # ~10 CBR ticks in 5 s per flow; far below saturation.
+    for sink in app.sinks:
+        assert 5 <= sink.packets <= 15
+
+
+def test_first_packet_marks_initial_delay(env):
+    vehicles = build_vehicles(env)
+    app = EblApplication(vehicles[0], vehicles[1:])
+    start(vehicles)
+    vehicles[0].schedule_braking(2.0, None)
+    env.run(until=5.0)
+    for flow in app.flows:
+        first = flow.sink.records[0]
+        assert first.sent_at == pytest.approx(2.0, abs=0.01)
+        assert first.delay > 0
+
+
+# -- UDP warning app (extension) ---------------------------------------------------
+
+
+def test_warning_app_broadcasts_on_brake(env):
+    vehicles = build_vehicles(env)
+    app = EblWarningApp(vehicles[0], repeat_interval=0.1)
+    sinks = [UdpSink(v.node, 300) for v in vehicles[1:]]
+    start(vehicles)
+    vehicles[0].schedule_braking(1.0, 2.0)
+    env.run(until=4.0)
+    assert app.warnings_sent == pytest.approx(10, abs=2)
+    for sink in sinks:
+        assert sink.packets == app.warnings_sent
+
+
+def test_warning_headers_mark_initial(env):
+    vehicles = build_vehicles(env)
+    EblWarningApp(vehicles[0], repeat_interval=0.1)
+    received = []
+    sink = UdpSink(vehicles[1].node, 300)
+    sink.recv_callback = lambda pkt: received.append(pkt)
+    start(vehicles)
+    vehicles[0].schedule_braking(1.0, 1.55)
+    env.run(until=3.0)
+    headers = [pkt.header("ebl") for pkt in received]
+    assert headers[0].initial
+    assert all(not h.initial for h in headers[1:])
+    assert [h.warning_seq for h in headers] == list(range(len(headers)))
+    assert all(pkt.ptype == PacketType.EBL for pkt in received)
+
+
+def test_warning_app_validates_interval(env):
+    vehicles = build_vehicles(env)
+    with pytest.raises(ValueError):
+        EblWarningApp(vehicles[0], repeat_interval=0.0)

@@ -1,0 +1,123 @@
+"""Failure injection and energy accounting in the full scenario."""
+
+import math
+
+import pytest
+
+from repro.core.analysis import analyze_trial
+from repro.core.runner import run_trial
+from repro.core.scenario import EblScenario
+from repro.core.trials import TRIAL_3, TrialConfig
+from repro.phy.error_models import GilbertElliotErrorModel, UniformErrorModel
+
+DURATION = 15.0
+
+
+def test_error_rate_validation():
+    with pytest.raises(ValueError):
+        TrialConfig(error_rate=1.0)
+    with pytest.raises(ValueError):
+        TrialConfig(error_rate=-0.1)
+
+
+def test_scenario_attaches_uniform_error_model():
+    scenario = EblScenario(
+        TRIAL_3.with_overrides(enable_trace=False, error_rate=0.1)
+    )
+    for vehicle in scenario.vehicles:
+        assert isinstance(vehicle.node.phy.error_model, UniformErrorModel)
+        assert vehicle.node.phy.error_model.rate == 0.1
+
+
+def test_scenario_attaches_bursty_error_model_with_matching_rate():
+    scenario = EblScenario(
+        TRIAL_3.with_overrides(
+            enable_trace=False, error_rate=0.2, error_bursts=True
+        )
+    )
+    model = scenario.vehicles[0].node.phy.error_model
+    assert isinstance(model, GilbertElliotErrorModel)
+    assert model.steady_state_loss == pytest.approx(0.2, abs=1e-9)
+
+
+def test_clean_channel_has_no_error_model():
+    scenario = EblScenario(TRIAL_3.with_overrides(enable_trace=False))
+    assert all(v.node.phy.error_model is None for v in scenario.vehicles)
+
+
+def test_lossy_channel_degrades_but_does_not_break_ebl():
+    clean = analyze_trial(
+        run_trial(TRIAL_3.with_overrides(duration=DURATION))
+    )
+    lossy = analyze_trial(
+        run_trial(
+            TRIAL_3.with_overrides(duration=DURATION, error_rate=0.15)
+        )
+    )
+    # TCP keeps the stream alive, at reduced throughput.
+    assert 0 < lossy.throughput.average < clean.throughput.average
+    # The warning still arrives within the safety budget.
+    assert lossy.safety.gap_fraction_consumed < 0.25
+    assert lossy.initial_packet_delay >= clean.initial_packet_delay - 1e-6
+
+
+def test_bursty_losses_hurt_delay_more_than_uniform():
+    """Same long-run loss rate, bursty arrangement: the initial warning
+    can land inside a burst, so worst-case behaviour is no better."""
+    uniform = analyze_trial(
+        run_trial(TRIAL_3.with_overrides(duration=DURATION, error_rate=0.2))
+    )
+    bursty = analyze_trial(
+        run_trial(
+            TRIAL_3.with_overrides(
+                duration=DURATION, error_rate=0.2, error_bursts=True
+            )
+        )
+    )
+    assert uniform.throughput.average > 0
+    assert bursty.throughput.average > 0
+
+
+# -- energy -----------------------------------------------------------------------
+
+
+def test_energy_tracked_by_default():
+    result = run_trial(TRIAL_3.with_overrides(duration=DURATION))
+    energies = result.energy_by_node()
+    assert set(energies) == set(range(6))
+    for parts in energies.values():
+        assert parts["idle"] > 0
+        assert sum(parts.values()) > 0
+    # The lead of platoon 1 (node 0) transmits the data stream: its tx
+    # energy dwarfs its followers'.
+    assert energies[0]["tx"] > energies[1]["tx"]
+    assert energies[0]["tx"] > energies[2]["tx"]
+
+
+def test_energy_tracking_can_be_disabled():
+    result = run_trial(
+        TRIAL_3.with_overrides(duration=DURATION, track_energy=False,
+                               enable_trace=False)
+    )
+    assert result.energy_by_node() == {}
+    assert math.isnan(result.energy_per_delivered_megabit())
+
+
+def test_energy_per_megabit_is_finite_and_sane():
+    result = run_trial(TRIAL_3.with_overrides(duration=DURATION))
+    cost = result.energy_per_delivered_megabit()
+    # Six idling radios at ~0.8-1 W for 15 s against a few tens of Mbit.
+    assert 0.1 < cost < 100.0
+
+
+def test_tdma_less_efficient_per_bit_than_dcf():
+    """TDMA's idle slot waiting burns the same idle power while carrying
+    far less traffic — J/Mbit is much worse."""
+    from repro.core.trials import TRIAL_1
+
+    dcf = run_trial(TRIAL_3.with_overrides(duration=DURATION,
+                                           enable_trace=False))
+    tdma = run_trial(TRIAL_1.with_overrides(duration=DURATION,
+                                            enable_trace=False))
+    assert (tdma.energy_per_delivered_megabit()
+            > 3 * dcf.energy_per_delivered_megabit())

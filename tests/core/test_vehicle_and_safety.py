@@ -1,0 +1,147 @@
+"""Tests for the vehicle braking model and the §III.E safety analysis."""
+
+import pytest
+
+from repro.core.safety import assess_safety
+from repro.core.vehicle import Vehicle
+from repro.des import Environment
+from repro.mobility.kinematics import mph_to_mps
+from repro.mobility.waypoint import WaypointMobility
+from repro.net.channel import WirelessChannel
+from repro.net.node import Node
+from repro.mac.dcf import Dcf80211Mac
+from repro.routing.static_routing import StaticRouting
+
+
+def make_vehicle(env, address=0):
+    channel = WirelessChannel(env)
+    mobility = WaypointMobility(0.0, 0.0)
+    node = Node(env, address, mobility, channel,
+                lambda e, a, p, q: Dcf80211Mac(e, a, p, q))
+    StaticRouting(node)
+    return Vehicle(env, node, mobility)
+
+
+# -- braking state machine ----------------------------------------------------
+
+
+def test_vehicle_starts_not_braking():
+    env = Environment()
+    vehicle = make_vehicle(env)
+    assert not vehicle.braking
+
+
+def test_braking_episode_fires_listeners():
+    env = Environment()
+    vehicle = make_vehicle(env)
+    transitions = []
+    vehicle.on_brake_change(lambda b: transitions.append((env.now, b)))
+    vehicle.schedule_braking(2.0, 5.0)
+    env.run(until=10.0)
+    assert transitions == [(2.0, True), (5.0, False)]
+    assert not vehicle.braking
+
+
+def test_open_ended_braking_never_releases():
+    env = Environment()
+    vehicle = make_vehicle(env)
+    vehicle.schedule_braking(1.0, None)
+    env.run(until=10.0)
+    assert vehicle.braking
+
+
+def test_braking_schedule_validation():
+    env = Environment()
+    vehicle = make_vehicle(env)
+    with pytest.raises(ValueError):
+        vehicle.schedule_braking(5.0, 5.0)
+
+
+def test_is_braking_at_consults_schedule():
+    env = Environment()
+    vehicle = make_vehicle(env)
+    vehicle.schedule_braking(2.0, 5.0)
+    vehicle.schedule_braking(8.0, None)
+    assert not vehicle.is_braking_at(1.0)
+    assert vehicle.is_braking_at(3.0)
+    assert not vehicle.is_braking_at(6.0)
+    assert vehicle.is_braking_at(100.0)
+
+
+def test_duplicate_transitions_suppressed():
+    env = Environment()
+    vehicle = make_vehicle(env)
+    count = []
+    vehicle.on_brake_change(lambda b: count.append(b))
+    vehicle.schedule_braking(1.0, None)
+    vehicle.schedule_braking(2.0, None)  # already braking at 2.0
+    env.run(until=5.0)
+    assert count == [True]
+
+
+def test_vehicle_exposes_position_and_speed():
+    env = Environment()
+    vehicle = make_vehicle(env)
+    vehicle.mobility.set_destination(0.0, 100.0, 0.0, speed=10.0)
+    env.run(until=5.0)
+    assert vehicle.position == (50.0, 0.0)
+    assert vehicle.speed == pytest.approx(10.0, rel=0.05)
+    assert vehicle.address == 0
+
+
+# -- safety assessment (§III.E) -----------------------------------------------------
+
+
+def test_paper_tdma_assessment():
+    """0.24 s at 50 mph: ~5.38 m, >20% of the 25 m gap."""
+    safety = assess_safety(0.24)
+    assert safety.distance_during_delay == pytest.approx(5.38, abs=0.05)
+    assert safety.gap_fraction_consumed > 0.20
+    assert safety.is_safe  # still stops, but with a reduced margin
+
+
+def test_paper_80211_assessment():
+    """0.02 s: ~0.45 m, <2% of the gap."""
+    safety = assess_safety(0.02)
+    assert safety.distance_during_delay == pytest.approx(0.45, abs=0.01)
+    assert safety.gap_fraction_consumed < 0.02
+
+
+def test_reaction_time_consumes_margin():
+    fast = assess_safety(0.02, reaction_time=0.0)
+    slow = assess_safety(0.02, reaction_time=1.0)
+    assert slow.stopping_margin < fast.stopping_margin
+    assert slow.distance_before_braking > fast.distance_before_braking
+
+
+def test_unsafe_when_delay_exceeds_gap_time():
+    # 25 m at 22.35 m/s is ~1.12 s of travel; a 1.2 s warning is too late.
+    safety = assess_safety(1.2)
+    assert not safety.is_safe
+    assert safety.stopping_margin < 0
+
+
+def test_max_safe_delay_boundary():
+    safety = assess_safety(0.1, reaction_time=0.5)
+    boundary = safety.max_safe_delay
+    at_boundary = assess_safety(boundary, reaction_time=0.5)
+    assert at_boundary.stopping_margin == pytest.approx(0.0, abs=1e-9)
+
+
+def test_worst_case_margin_decreases_on_worse_roads():
+    safety = assess_safety(0.02, speed=mph_to_mps(50.0), separation=60.0)
+    dry = safety.worst_case_margin("dry")
+    wet = safety.worst_case_margin("wet")
+    icy = safety.worst_case_margin("icy")
+    assert dry > wet > icy
+
+
+def test_assess_safety_validation():
+    with pytest.raises(ValueError):
+        assess_safety(-0.1)
+    with pytest.raises(ValueError):
+        assess_safety(0.1, speed=0)
+    with pytest.raises(ValueError):
+        assess_safety(0.1, separation=0)
+    with pytest.raises(ValueError):
+        assess_safety(0.1, reaction_time=-1)

@@ -1,0 +1,222 @@
+"""Unit tests for Resource, Container, Store, and FilterStore."""
+
+import pytest
+
+from repro.des import Container, Environment, FilterStore, Resource, Store
+
+
+# -- Resource ----------------------------------------------------------------
+
+
+def test_resource_rejects_nonpositive_capacity():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Resource(env, capacity=0)
+
+
+def test_resource_grants_up_to_capacity_immediately():
+    env = Environment()
+    res = Resource(env, capacity=2)
+    r1, r2, r3 = res.request(), res.request(), res.request()
+    assert r1.triggered and r2.triggered
+    assert not r3.triggered
+    assert res.count == 2
+    assert res.queue_length == 1
+
+
+def test_resource_release_grants_next_waiter():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    r1 = res.request()
+    r2 = res.request()
+    res.release(r1)
+    assert r2.triggered
+    assert res.count == 1
+
+
+def test_resource_context_manager_releases():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    log = []
+
+    def user(env, tag, hold):
+        with res.request() as req:
+            yield req
+            yield env.timeout(hold)
+            log.append((tag, env.now))
+
+    env.process(user(env, "a", 2.0))
+    env.process(user(env, "b", 1.0))
+    env.run()
+    assert log == [("a", 2.0), ("b", 3.0)]
+
+
+def test_resource_cancel_pending_request_dequeues():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    r1 = res.request()
+    r2 = res.request()
+    r2.cancel()
+    res.release(r1)
+    assert not r2.triggered
+    assert res.count == 0
+
+
+def test_double_release_is_idempotent():
+    env = Environment()
+    res = Resource(env)
+    r = res.request()
+    res.release(r)
+    res.release(r)
+    assert res.count == 0
+
+
+# -- Container ---------------------------------------------------------------
+
+
+def test_container_initial_level():
+    env = Environment()
+    c = Container(env, capacity=10, init=4)
+    assert c.level == 4
+
+
+def test_container_init_bounds_checked():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Container(env, capacity=5, init=6)
+    with pytest.raises(ValueError):
+        Container(env, capacity=0)
+
+
+def test_container_get_blocks_until_put():
+    env = Environment()
+    c = Container(env, capacity=10)
+    got = c.get(3)
+    assert not got.triggered
+    c.put(5)
+    assert got.triggered
+    assert c.level == 2
+
+
+def test_container_put_blocks_at_capacity():
+    env = Environment()
+    c = Container(env, capacity=5, init=4)
+    put = c.put(3)
+    assert not put.triggered
+    c.get(2)
+    assert put.triggered
+    assert c.level == 5
+
+
+def test_container_negative_amounts_rejected():
+    env = Environment()
+    c = Container(env, capacity=5)
+    with pytest.raises(ValueError):
+        c.put(-1)
+    with pytest.raises(ValueError):
+        c.get(-1)
+
+
+# -- Store -------------------------------------------------------------------
+
+
+def test_store_fifo_order():
+    env = Environment()
+    store = Store(env)
+    for item in ("x", "y", "z"):
+        store.put(item)
+    values = [store.get().value for _ in range(3)]
+    assert values == ["x", "y", "z"]
+
+
+def test_store_get_blocks_until_put():
+    env = Environment()
+    store = Store(env)
+    got = store.get()
+    assert not got.triggered
+    store.put("pkt")
+    assert got.triggered and got.value == "pkt"
+
+
+def test_store_put_blocks_at_capacity():
+    env = Environment()
+    store = Store(env, capacity=1)
+    store.put("a")
+    blocked = store.put("b")
+    assert not blocked.triggered
+    store.get()
+    assert blocked.triggered
+    assert store.items == ["b"]
+
+
+def test_store_len():
+    env = Environment()
+    store = Store(env)
+    assert len(store) == 0
+    store.put(1)
+    assert len(store) == 1
+
+
+def test_store_cancel_pending_get():
+    env = Environment()
+    store = Store(env)
+    got = store.get()
+    got.cancel()
+    store.put("late")
+    assert not got.triggered
+    assert store.items == ["late"]
+
+
+def test_store_producer_consumer_through_simulation():
+    env = Environment()
+    store = Store(env, capacity=2)
+    consumed = []
+
+    def producer(env):
+        for i in range(5):
+            yield store.put(i)
+            yield env.timeout(1.0)
+
+    def consumer(env):
+        for _ in range(5):
+            item = yield store.get()
+            consumed.append(item)
+            yield env.timeout(2.0)
+
+    env.process(producer(env))
+    env.process(consumer(env))
+    env.run()
+    assert consumed == [0, 1, 2, 3, 4]
+
+
+# -- FilterStore -------------------------------------------------------------
+
+
+def test_filter_store_selects_by_predicate():
+    env = Environment()
+    store = FilterStore(env)
+    for item in (1, 2, 3, 4):
+        store.put(item)
+    got = store.get(lambda item: item % 2 == 0)
+    assert got.value == 2
+    assert store.items == [1, 3, 4]
+
+
+def test_filter_store_blocked_getter_does_not_block_others():
+    env = Environment()
+    store = FilterStore(env)
+    want_big = store.get(lambda item: item > 100)
+    want_any = store.get()
+    store.put(7)
+    assert not want_big.triggered
+    assert want_any.triggered and want_any.value == 7
+    store.put(200)
+    assert want_big.triggered and want_big.value == 200
+
+
+def test_filter_store_default_predicate_is_fifo():
+    env = Environment()
+    store = FilterStore(env)
+    store.put("first")
+    store.put("second")
+    assert store.get().value == "first"

@@ -1,0 +1,102 @@
+"""Tests for the figure/table reproduction harness."""
+
+import pytest
+
+from repro.core.runner import run_trial
+from repro.core.trials import TRIAL_1, TRIAL_3
+from repro.experiments.figures import (
+    fig_1_2_platoon_movement,
+    fig_5_6_trial1_delay,
+    fig_7_trial1_throughput,
+    fig_11_14_trial3_delay,
+    fig_15_trial3_throughput,
+)
+from repro.experiments.tables import (
+    delay_stats_table,
+    safety_table,
+    throughput_stats_table,
+)
+
+DURATION = 20.0
+
+
+@pytest.fixture(scope="module")
+def trial1():
+    return run_trial(TRIAL_1.with_overrides(duration=DURATION))
+
+
+@pytest.fixture(scope="module")
+def trial3():
+    return run_trial(TRIAL_3.with_overrides(duration=DURATION))
+
+
+def test_fig_1_2_movement_frames():
+    frames = fig_1_2_platoon_movement()
+    assert len(frames) == 4
+    first, _, arrival, after = frames
+    # At t=0: platoon 1 south of the intersection, platoon 2 at it.
+    assert first.platoon1[0][1] < -200
+    assert first.platoon2[0] == pytest.approx((-15.0, 0.0))
+    # At arrival: platoon 1 at the stop line.
+    assert arrival.platoon1[0][1] == pytest.approx(-15.0, abs=1.0)
+    # Afterwards platoon 2 has moved east.
+    assert after.platoon2[0][0] > arrival.platoon2[0][0]
+
+
+def test_fig_5_6_delay_figure(trial1):
+    figure = fig_5_6_trial1_delay(trial1)
+    assert len(figure.overall) > 50
+    assert figure.transient_packets > 0
+    assert figure.steady_state_level > 0
+    assert len(figure.transient) <= len(figure.overall)
+    assert "Trial 1" in figure.title
+
+
+def test_fig_7_throughput_figure(trial1):
+    figure = fig_7_trial1_throughput(trial1)
+    assert len(figure.series) > 10
+    # Platoon 1 begins communicating around its brake onset.
+    onset = trial1.scenario.brake_onset_time
+    assert figure.traffic_start == pytest.approx(onset, abs=2.0)
+
+
+def test_fig_11_14_covers_both_platoons(trial3):
+    fig_p1, fig_p2 = fig_11_14_trial3_delay(trial3)
+    assert len(fig_p1.overall) > 100
+    assert len(fig_p2.overall) > 100
+    assert "platoon 1" in fig_p1.title
+    assert "platoon 2" in fig_p2.title
+
+
+def test_fig_15_throughput(trial3):
+    figure = fig_15_trial3_throughput(trial3)
+    assert figure.series.summary().maximum > 0.5  # Mbps, 802.11 is fast
+
+
+def test_delay_table_rows(trial1):
+    rows = delay_stats_table(trial1)
+    assert len(rows) == 4  # 2 platoons x (middle, trailing)
+    vehicles = {(r.platoon, r.vehicle) for r in rows}
+    assert vehicles == {
+        (1, "middle"), (1, "trailing"), (2, "middle"), (2, "trailing")
+    }
+    for row in rows:
+        assert row.minimum <= row.average <= row.maximum
+
+
+def test_throughput_table_rows(trial1):
+    rows = throughput_stats_table(trial1)
+    assert len(rows) == 2
+    for row in rows:
+        assert row.average_mbps > 0
+        assert row.ci_level == 0.95
+        assert row.ci_half_width >= 0
+
+
+def test_safety_table_orders_macs(trial1, trial3):
+    rows = safety_table([trial1, trial3])
+    tdma = next(r for r in rows if r.mac_type == "tdma")
+    dcf = next(r for r in rows if r.mac_type == "802.11")
+    assert tdma.gap_fraction > dcf.gap_fraction
+    assert tdma.initial_delay > dcf.initial_delay
+    assert dcf.gap_fraction < 0.05

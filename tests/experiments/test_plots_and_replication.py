@@ -1,0 +1,143 @@
+"""Tests for the text figure renderer and the replication harness."""
+
+import pytest
+
+from repro.core.trials import TRIAL_3
+from repro.experiments.plots import (
+    ascii_plot,
+    render_delay_figure,
+    render_throughput_figure,
+)
+from repro.experiments.replication import replicate
+
+
+# -- ascii_plot -----------------------------------------------------------------
+
+
+def test_ascii_plot_basic_shape():
+    chart = ascii_plot([0, 1, 2, 3], [0, 1, 2, 3], width=20, height=6,
+                       title="line")
+    lines = chart.splitlines()
+    assert "line" in lines[0]
+    assert any("·" in line for line in lines)
+    # Axis labels carry the data range.
+    assert "3.000" in chart and "0.000" in chart
+
+
+def test_ascii_plot_validation():
+    with pytest.raises(ValueError):
+        ascii_plot([1, 2], [1], width=20, height=6)
+    with pytest.raises(ValueError):
+        ascii_plot([], [], width=20, height=6)
+    with pytest.raises(ValueError):
+        ascii_plot([1], [1], width=5, height=2)
+
+
+def test_ascii_plot_constant_series():
+    chart = ascii_plot([0, 1, 2], [5.0, 5.0, 5.0], width=20, height=6)
+    assert "5.000" in chart  # degenerate y-span handled
+
+
+def test_ascii_plot_extremes_land_on_edges():
+    chart = ascii_plot([0, 10], [0, 10], width=30, height=8)
+    rows = [l for l in chart.splitlines() if "|" in l]
+    body = [row.split("|", 1)[1] for row in rows]
+    assert body[0].rstrip().endswith("·")       # max at top-right
+    assert body[-1].lstrip().startswith("·")    # min at bottom-left
+
+
+# -- figure renderers ----------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def trial3_result():
+    from repro.core.runner import run_trial
+
+    return run_trial(TRIAL_3.with_overrides(duration=15.0))
+
+
+def test_render_delay_figure(trial3_result):
+    from repro.experiments.figures import fig_11_14_trial3_delay
+
+    fig_p1, _ = fig_11_14_trial3_delay(trial3_result)
+    text = render_delay_figure(fig_p1)
+    assert "Trial 3" in text
+    assert "packet ID" in text
+    assert "steady state" in text
+    transient_text = render_delay_figure(fig_p1, transient=True)
+    assert "transient state" in transient_text
+
+
+def test_render_throughput_figure(trial3_result):
+    from repro.experiments.figures import fig_15_trial3_throughput
+
+    figure = fig_15_trial3_throughput(trial3_result)
+    text = render_throughput_figure(figure)
+    assert "Mbps" in text
+    assert "traffic begins" in text
+    assert "*" in text
+
+
+def test_render_empty_figures():
+    from repro.experiments.figures import DelayFigure, ThroughputFigure
+    from repro.stats.delay import DelaySeries
+    from repro.stats.throughput import ThroughputSeries
+
+    empty_delay = DelayFigure("empty", DelaySeries([]), DelaySeries([]))
+    assert "no packets" in render_delay_figure(empty_delay)
+    empty_thr = ThroughputFigure("empty", ThroughputSeries([]))
+    assert "no samples" in render_throughput_figure(empty_thr)
+
+
+# -- replication ------------------------------------------------------------------------
+
+
+def test_replicate_requires_two_seeds():
+    with pytest.raises(ValueError):
+        replicate(TRIAL_3, seeds=(1,))
+
+
+def test_replicate_aggregates_across_seeds():
+    config = TRIAL_3.with_overrides(duration=12.0)
+    result = replicate(config, seeds=(1, 2, 3))
+    assert result.n == 3
+    assert result.seeds == [1, 2, 3]
+    # Cross-run CI is well-formed and brackets each run's throughput mean
+    # loosely (runs differ only by backoff seeds, so spread is small).
+    assert result.throughput_ci.mean > 0
+    assert result.throughput_ci.half_width >= 0
+    assert result.delay_ci.mean > 0
+    assert 0 < result.initial_delay_ci.mean < 0.2
+    assert 0 <= result.mean_within_run_precision() < 1
+
+
+def test_render_scenario_map_shows_both_platoons():
+    from repro.core.scenario import EblScenario
+    from repro.core.trials import TRIAL_1
+    from repro.experiments.plots import render_scenario_map
+
+    scenario = EblScenario(TRIAL_1.with_overrides(enable_trace=False))
+    start = render_scenario_map(scenario, 0.0)
+    assert "1" in start and "2" in start and "+" in start
+    # Platoon 1 begins below the horizontal street, platoon 2 on it.
+    lines = start.splitlines()
+    street_row = next(i for i, l in enumerate(lines) if l.startswith("---"))
+    ones = [i for i, l in enumerate(lines) if "1" in l and i != 0]
+    assert all(i > street_row for i in ones)
+
+    after = render_scenario_map(scenario, scenario.arrival_time + 4.0)
+    # Platoon 2 has departed east of the intersection by then.
+    street = after.splitlines()[street_row]
+    centre = street.index("1") if "1" in street else len(street) // 2
+    assert "2" in street[centre:]
+
+
+def test_render_scenario_map_validates_size():
+    from repro.core.scenario import EblScenario
+    from repro.core.trials import TRIAL_1
+    from repro.experiments.plots import render_scenario_map
+    import pytest as _pytest
+
+    scenario = EblScenario(TRIAL_1.with_overrides(enable_trace=False))
+    with _pytest.raises(ValueError):
+        render_scenario_map(scenario, 0.0, width=5, height=3)

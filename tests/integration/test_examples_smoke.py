@@ -1,0 +1,74 @@
+"""Smoke tests: every shipped example must run clean end to end.
+
+Each example accepts a duration (or size) argument so these runs stay
+short; the assertions check the narrative outputs, not timing.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name, *args, timeout=300):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *map(str, args)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py", 12)
+    assert "One-way delay (platoon 1)" in out
+    assert "Safety" in out
+    assert "SAFE" in out
+
+
+def test_intersection_ebl():
+    out = run_example("intersection_ebl.py", 15)
+    assert "trial1" in out and "trial3" in out
+    assert "MAC type (TDMA" in out
+    assert "802.11 wins both" in out
+    assert "Conclusion" in out
+
+
+def test_mac_comparison():
+    out = run_example("mac_comparison.py", 12)
+    assert "Throughput (platoon 1, Mbps):" in out
+    assert "tdma-16" in out and "csma" in out
+    assert "802.11" in out
+
+
+def test_packet_size_study():
+    out = run_example("packet_size_study.py", 10)
+    assert "bytes" in out
+    assert "best" in out
+    assert "1500" in out
+
+
+def test_highway_chain_braking():
+    out = run_example("highway_chain_braking.py", 5)
+    assert "EBL over 802.11" in out
+    assert "CRASH" in out  # conventional chain collides
+    assert "EBL: 0" in out  # EBL saves everyone
+
+
+def test_urban_grid_aodv():
+    out = run_example("urban_grid_aodv.py", 8, 7, 20)
+    assert "Packet delivery ratio" in out
+    assert "AODV overhead" in out
+    assert "route discoveries" in out
+
+
+def test_dsrc_reliability_study():
+    out = run_example("dsrc_reliability_study.py", 10)
+    assert "p99 ms" in out
+    assert "uniform" in out and "bursty" in out
+    assert "J/Mbit" in out

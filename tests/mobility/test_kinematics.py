@@ -1,0 +1,142 @@
+"""Tests for braking kinematics — including the paper's §III.E arithmetic."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mobility.kinematics import (
+    BrakingProfile,
+    braking_distance,
+    friction_deceleration,
+    mph_to_mps,
+    mps_to_mph,
+    stopping_distance,
+    time_to_stop,
+)
+
+
+def test_unit_conversions_roundtrip():
+    assert mps_to_mph(mph_to_mps(50.0)) == pytest.approx(50.0)
+
+
+def test_paper_speed_is_22_4_mps():
+    """The paper's 50 mph = 22.4 m/s (it prints "(22.4 m/s)")."""
+    assert mph_to_mps(50.0) == pytest.approx(22.35, abs=0.05)
+
+
+def test_paper_tdma_delay_distance():
+    """§III.E: at 0.24 s delay and 22.4 m/s, ~5.38 m are covered — over
+    20% of the 25 m separation."""
+    distance = mph_to_mps(50.0) * 0.24
+    assert distance == pytest.approx(5.38, abs=0.03)
+    assert distance / 25.0 > 0.20
+
+
+def test_paper_80211_delay_distance():
+    """§III.E: at 0.02 s, ~0.45 m — under 2% of the gap."""
+    distance = mph_to_mps(50.0) * 0.02
+    assert distance == pytest.approx(0.45, abs=0.01)
+    assert distance / 25.0 < 0.02
+
+
+def test_time_to_stop():
+    assert time_to_stop(20.0, 4.0) == pytest.approx(5.0)
+
+
+def test_braking_distance():
+    assert braking_distance(20.0, 4.0) == pytest.approx(50.0)
+
+
+def test_stopping_distance_adds_reaction_rollout():
+    total = stopping_distance(20.0, 4.0, reaction_time=1.5)
+    assert total == pytest.approx(50.0 + 30.0)
+
+
+def test_kinematics_input_validation():
+    with pytest.raises(ValueError):
+        time_to_stop(10.0, 0.0)
+    with pytest.raises(ValueError):
+        time_to_stop(-1.0, 4.0)
+    with pytest.raises(ValueError):
+        braking_distance(10.0, -1.0)
+    with pytest.raises(ValueError):
+        stopping_distance(10.0, 4.0, reaction_time=-0.5)
+
+
+def test_friction_deceleration_by_road_state():
+    dry = friction_deceleration("dry")
+    wet = friction_deceleration("wet")
+    icy = friction_deceleration("icy")
+    assert dry > wet > icy > 0
+
+
+def test_friction_brake_efficiency_scales():
+    full = friction_deceleration("dry", brake_efficiency=1.0)
+    worn = friction_deceleration("dry", brake_efficiency=0.5)
+    assert worn == pytest.approx(full / 2)
+
+
+def test_friction_validation():
+    with pytest.raises(ValueError):
+        friction_deceleration("snowy")
+    with pytest.raises(ValueError):
+        friction_deceleration("dry", brake_efficiency=0.0)
+
+
+# -- BrakingProfile ---------------------------------------------------------------
+
+
+def test_profile_stop_time_and_distance():
+    profile = BrakingProfile(t0=10.0, initial_speed=20.0, deceleration=4.0)
+    assert profile.stop_time == pytest.approx(15.0)
+    assert profile.total_distance == pytest.approx(50.0)
+
+
+def test_profile_speed_decreases_linearly():
+    profile = BrakingProfile(t0=0.0, initial_speed=20.0, deceleration=4.0)
+    assert profile.speed_at(-1.0) == 20.0
+    assert profile.speed_at(2.5) == pytest.approx(10.0)
+    assert profile.speed_at(5.0) == 0.0
+    assert profile.speed_at(100.0) == 0.0
+
+
+def test_profile_distance_is_quadratic():
+    profile = BrakingProfile(t0=0.0, initial_speed=20.0, deceleration=4.0)
+    assert profile.distance_at(0.0) == 0.0
+    assert profile.distance_at(2.5) == pytest.approx(20 * 2.5 - 0.5 * 4 * 2.5**2)
+    assert profile.distance_at(5.0) == pytest.approx(50.0)
+    assert profile.distance_at(50.0) == pytest.approx(50.0)
+
+
+def test_profile_validation():
+    with pytest.raises(ValueError):
+        BrakingProfile(t0=0.0, initial_speed=-1.0, deceleration=4.0)
+    with pytest.raises(ValueError):
+        BrakingProfile(t0=0.0, initial_speed=10.0, deceleration=0.0)
+
+
+@given(
+    st.floats(min_value=0.1, max_value=60.0),
+    st.floats(min_value=0.5, max_value=10.0),
+)
+@settings(max_examples=100, deadline=None)
+def test_profile_distance_monotonic_and_bounded(speed, decel):
+    profile = BrakingProfile(t0=0.0, initial_speed=speed, deceleration=decel)
+    previous = -1.0
+    stop = profile.stop_time
+    for i in range(11):
+        d = profile.distance_at(stop * i / 10)
+        assert d >= previous - 1e-9
+        previous = d
+    assert profile.distance_at(stop) == pytest.approx(profile.total_distance)
+
+
+@given(
+    st.floats(min_value=0.1, max_value=60.0),
+    st.floats(min_value=0.5, max_value=10.0),
+)
+@settings(max_examples=100, deadline=None)
+def test_braking_distance_consistent_with_profile(speed, decel):
+    assert braking_distance(speed, decel) == pytest.approx(
+        BrakingProfile(t0=0.0, initial_speed=speed, deceleration=decel).total_distance
+    )

@@ -1,0 +1,90 @@
+"""Tests for Manhattan-grid mobility."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mobility.manhattan import ManhattanGridMobility
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        ManhattanGridMobility(blocks_x=0)
+    with pytest.raises(ValueError):
+        ManhattanGridMobility(block_size=0)
+    with pytest.raises(ValueError):
+        ManhattanGridMobility(speed=0)
+    with pytest.raises(ValueError):
+        ManhattanGridMobility(turn_probability=1.5)
+    with pytest.raises(ValueError):
+        ManhattanGridMobility(blocks_x=3, blocks_y=3, start=(5, 0))
+
+
+def test_starts_at_requested_intersection():
+    m = ManhattanGridMobility(block_size=50.0, start=(2, 3),
+                              rng=random.Random(1))
+    assert m.position(0.0) == (100.0, 150.0)
+
+
+def test_stays_inside_grid_bounds():
+    m = ManhattanGridMobility(
+        blocks_x=4, blocks_y=3, block_size=100.0, speed=10.0,
+        horizon=300.0, rng=random.Random(2),
+    )
+    for t in range(0, 300, 3):
+        x, y = m.position(float(t))
+        assert -1e-6 <= x <= 400.0 + 1e-6
+        assert -1e-6 <= y <= 300.0 + 1e-6
+
+
+def test_always_on_a_street():
+    m = ManhattanGridMobility(
+        blocks_x=5, blocks_y=5, block_size=100.0, speed=10.0,
+        horizon=200.0, rng=random.Random(3),
+    )
+    for i in range(200):
+        assert m.on_grid(i * 1.0), f"off-street at t={i}"
+
+
+def test_moves_at_constant_speed_along_blocks():
+    m = ManhattanGridMobility(
+        blocks_x=5, blocks_y=5, block_size=100.0, speed=20.0,
+        horizon=100.0, rng=random.Random(4),
+    )
+    # Mid-block speed equals the configured speed.
+    speeds = [m.speed(t) for t in (2.5, 7.5, 12.5)]
+    for s in speeds:
+        assert s == pytest.approx(20.0, rel=0.05)
+
+
+def test_deterministic_from_seed():
+    m1 = ManhattanGridMobility(rng=random.Random(7), horizon=100.0)
+    m2 = ManhattanGridMobility(rng=random.Random(7), horizon=100.0)
+    assert m1.position(42.0) == m2.position(42.0)
+
+
+def test_turns_actually_happen():
+    m = ManhattanGridMobility(
+        blocks_x=10, blocks_y=10, block_size=100.0, speed=10.0,
+        turn_probability=0.9, horizon=500.0, rng=random.Random(5),
+        start=(5, 5),
+    )
+    xs = {round(m.position(t * 10.0)[0], 3) for t in range(50)}
+    ys = {round(m.position(t * 10.0)[1], 3) for t in range(50)}
+    assert len(xs) > 1 and len(ys) > 1  # motion on both axes
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=50, deadline=None)
+def test_property_always_in_bounds(seed):
+    m = ManhattanGridMobility(
+        blocks_x=3, blocks_y=3, block_size=50.0, speed=15.0,
+        horizon=60.0, rng=random.Random(seed),
+    )
+    for t in (0.0, 13.7, 29.1, 59.9):
+        x, y = m.position(t)
+        assert -1e-6 <= x <= 150.0 + 1e-6
+        assert -1e-6 <= y <= 150.0 + 1e-6
+        assert m.on_grid(t, tolerance=1e-3)

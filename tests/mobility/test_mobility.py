@@ -1,0 +1,195 @@
+"""Tests for mobility models: stationary, waypoint, random waypoint, platoon."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mobility.base import StationaryMobility
+from repro.mobility.platoon import Platoon, PlatoonSpec
+from repro.mobility.random_waypoint import RandomWaypointMobility
+from repro.mobility.waypoint import WaypointMobility
+
+
+# -- stationary ----------------------------------------------------------------
+
+
+def test_stationary_never_moves():
+    m = StationaryMobility(3.0, 4.0)
+    assert m.position(0.0) == (3.0, 4.0)
+    assert m.position(1e6) == (3.0, 4.0)
+    assert m.velocity(5.0) == (0.0, 0.0)
+    assert m.speed(5.0) == 0.0
+
+
+# -- waypoint ---------------------------------------------------------------------
+
+
+def test_waypoint_initial_position():
+    m = WaypointMobility(10.0, 20.0)
+    assert m.position(0.0) == (10.0, 20.0)
+    assert m.position(100.0) == (10.0, 20.0)
+
+
+def test_waypoint_linear_motion():
+    m = WaypointMobility(0.0, 0.0)
+    m.set_destination(0.0, 100.0, 0.0, speed=10.0)
+    assert m.position(5.0) == (50.0, 0.0)
+    assert m.position(10.0) == (100.0, 0.0)
+    assert m.position(15.0) == (100.0, 0.0)  # rests at the destination
+
+
+def test_waypoint_delayed_start():
+    m = WaypointMobility(0.0, 0.0)
+    m.set_destination(10.0, 0.0, 100.0, speed=10.0)
+    assert m.position(5.0) == (0.0, 0.0)
+    assert m.position(15.0) == (0.0, 50.0)
+
+
+def test_waypoint_velocity_during_and_after_motion():
+    m = WaypointMobility(0.0, 0.0)
+    m.set_destination(0.0, 30.0, 40.0, speed=5.0)  # 50 m leg, 10 s
+    vx, vy = m.velocity(5.0)
+    assert vx == pytest.approx(3.0)
+    assert vy == pytest.approx(4.0)
+    assert m.speed(5.0) == pytest.approx(5.0)
+    assert m.velocity(20.0) == (0.0, 0.0)
+
+
+def test_waypoint_chained_moves():
+    m = WaypointMobility(0.0, 0.0)
+    m.set_destination(0.0, 100.0, 0.0, speed=10.0)   # east until t=10
+    m.set_destination(10.0, 100.0, 50.0, speed=10.0)  # then north
+    assert m.position(10.0) == (100.0, 0.0)
+    assert m.position(12.0) == (100.0, 20.0)
+    assert m.waypoint_count == 2
+    assert m.arrival_time() == pytest.approx(15.0)
+
+
+def test_waypoint_mid_flight_redirect():
+    m = WaypointMobility(0.0, 0.0)
+    m.set_destination(0.0, 100.0, 0.0, speed=10.0)
+    # Redirect at t=5 (at x=50) back to the origin.
+    m.set_destination(5.0, 0.0, 0.0, speed=10.0)
+    assert m.position(5.0) == (50.0, 0.0)
+    assert m.position(10.0) == (0.0, 0.0)
+
+
+def test_waypoint_rejects_bad_args():
+    m = WaypointMobility(0.0, 0.0)
+    with pytest.raises(ValueError):
+        m.set_destination(0.0, 1.0, 1.0, speed=0.0)
+    with pytest.raises(ValueError):
+        m.set_destination(-1.0, 1.0, 1.0, speed=1.0)
+    m.set_destination(5.0, 1.0, 1.0, speed=1.0)
+    with pytest.raises(ValueError):
+        m.set_destination(4.0, 2.0, 2.0, speed=1.0)  # time went backwards
+
+
+@given(
+    st.floats(min_value=0.1, max_value=100.0),
+    st.floats(min_value=1.0, max_value=50.0),
+)
+@settings(max_examples=100, deadline=None)
+def test_waypoint_never_overshoots(distance, speed):
+    m = WaypointMobility(0.0, 0.0)
+    m.set_destination(0.0, distance, 0.0, speed=speed)
+    travel_time = distance / speed
+    for frac in (0.25, 0.5, 0.75, 1.0, 2.0):
+        x, y = m.position(frac * travel_time)
+        assert -1e-9 <= x <= distance + 1e-9
+        assert y == 0.0
+
+
+# -- random waypoint ----------------------------------------------------------------
+
+
+def test_random_waypoint_stays_in_bounds():
+    import random
+
+    m = RandomWaypointMobility(500.0, 300.0, rng=random.Random(42), horizon=100.0)
+    for t in range(0, 100, 5):
+        x, y = m.position(float(t))
+        assert -1e-6 <= x <= 500.0 + 1e-6
+        assert -1e-6 <= y <= 300.0 + 1e-6
+
+
+def test_random_waypoint_deterministic_from_seed():
+    import random
+
+    m1 = RandomWaypointMobility(500.0, 300.0, rng=random.Random(7), horizon=50.0)
+    m2 = RandomWaypointMobility(500.0, 300.0, rng=random.Random(7), horizon=50.0)
+    assert m1.position(25.0) == m2.position(25.0)
+
+
+def test_random_waypoint_validates_params():
+    with pytest.raises(ValueError):
+        RandomWaypointMobility(0, 100)
+    with pytest.raises(ValueError):
+        RandomWaypointMobility(100, 100, speed_range=(0, 5))
+    with pytest.raises(ValueError):
+        RandomWaypointMobility(100, 100, pause_time=-1)
+
+
+# -- platoon --------------------------------------------------------------------------
+
+
+def test_platoon_spec_initial_positions():
+    spec = PlatoonSpec(size=3, spacing=25.0, lead_position=(0.0, 0.0),
+                       heading=(0.0, 1.0))
+    positions = spec.initial_positions()
+    assert positions == [(0.0, 0.0), (0.0, -25.0), (0.0, -50.0)]
+
+
+def test_platoon_spec_normalises_heading():
+    spec = PlatoonSpec(heading=(3.0, 4.0))
+    assert math.hypot(*spec.heading) == pytest.approx(1.0)
+
+
+def test_platoon_spec_validation():
+    with pytest.raises(ValueError):
+        PlatoonSpec(size=0)
+    with pytest.raises(ValueError):
+        PlatoonSpec(spacing=0)
+    with pytest.raises(ValueError):
+        PlatoonSpec(heading=(0.0, 0.0))
+
+
+def test_platoon_advance_preserves_formation():
+    platoon = Platoon(PlatoonSpec(size=3, spacing=25.0,
+                                  lead_position=(0.0, 0.0), heading=(0.0, 1.0)))
+    platoon.advance(0.0, 100.0, speed=10.0)
+    final = platoon.positions(20.0)
+    assert final[0] == pytest.approx((0.0, 100.0))
+    assert final[1] == pytest.approx((0.0, 75.0))
+    assert final[2] == pytest.approx((0.0, 50.0))
+    # Mid-flight spacing also preserved.
+    mid = platoon.positions(5.0)
+    assert mid[0][1] - mid[1][1] == pytest.approx(25.0)
+
+
+def test_platoon_move_lead_to():
+    platoon = Platoon(PlatoonSpec(size=2, spacing=10.0,
+                                  lead_position=(5.0, 5.0), heading=(1.0, 0.0)))
+    platoon.move_lead_to(0.0, (105.0, 5.0), speed=10.0)
+    assert platoon.positions(10.0)[0] == pytest.approx((105.0, 5.0))
+    assert platoon.positions(10.0)[1] == pytest.approx((95.0, 5.0))
+
+
+def test_platoon_advance_validates_distance():
+    platoon = Platoon(PlatoonSpec())
+    with pytest.raises(ValueError):
+        platoon.advance(0.0, -5.0, speed=10.0)
+
+
+def test_platoon_arrival_time():
+    platoon = Platoon(PlatoonSpec(size=2, spacing=25.0))
+    platoon.advance(0.0, 100.0, speed=10.0)
+    assert platoon.arrival_time() == pytest.approx(10.0)
+
+
+def test_platoon_len_and_lead():
+    platoon = Platoon(PlatoonSpec(size=4))
+    assert len(platoon) == 4
+    assert platoon.lead is platoon.mobilities[0]

@@ -1,0 +1,156 @@
+"""Tests for the optional ARP link layer."""
+
+import pytest
+
+from repro.des import Environment
+from repro.mac.dcf import Dcf80211Mac
+from repro.mobility.base import StationaryMobility
+from repro.net.addresses import BROADCAST
+from repro.net.channel import WirelessChannel
+from repro.net.node import Node
+from repro.routing.static_routing import StaticRouting
+from repro.transport.udp import UdpAgent, UdpSink
+
+
+def build_pair(env, use_arp=True, spacing=100.0):
+    channel = WirelessChannel(env)
+    nodes = []
+    for address in range(2):
+        node = Node(env, address,
+                    StationaryMobility(address * spacing, 0.0), channel,
+                    lambda e, a, p, q: Dcf80211Mac(e, a, p, q),
+                    use_arp=use_arp)
+        StaticRouting(node)
+        nodes.append(node)
+        node.start()
+    return nodes
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+def send_after(env, agent, delay=0.1, count=1, gap=0.05):
+    def proc(env):
+        yield env.timeout(delay)
+        for _ in range(count):
+            agent.send(100)
+            yield env.timeout(gap)
+
+    env.process(proc(env))
+
+
+def test_arp_resolves_then_delivers(env):
+    nodes = build_pair(env)
+    agent, sink = UdpAgent(nodes[0], 1), UdpSink(nodes[1], 1)
+    agent.connect(1, 1)
+    send_after(env, agent)
+    env.run(until=2.0)
+    assert sink.packets == 1
+    assert nodes[0].arp.requests_sent == 1
+    assert nodes[1].arp.replies_sent == 1
+    assert 1 in nodes[0].arp.cache
+
+
+def test_arp_cache_hits_skip_the_handshake(env):
+    nodes = build_pair(env)
+    agent, sink = UdpAgent(nodes[0], 1), UdpSink(nodes[1], 1)
+    agent.connect(1, 1)
+    send_after(env, agent, count=5)
+    env.run(until=3.0)
+    assert sink.packets == 5
+    assert nodes[0].arp.requests_sent == 1  # only the first packet paid
+
+
+def test_arp_learns_from_requests_too(env):
+    """The replier caches the requester from the request itself."""
+    nodes = build_pair(env)
+    agent = UdpAgent(nodes[0], 1)
+    agent.connect(1, 1)
+    send_after(env, agent)
+    env.run(until=2.0)
+    assert 0 in nodes[1].arp.cache
+
+
+def test_arp_holds_one_packet_per_destination(env):
+    """A second packet racing the unresolved first replaces it (ns-2
+    keeps one); the drop is accounted."""
+    nodes = build_pair(env)
+    agent, sink = UdpAgent(nodes[0], 1), UdpSink(nodes[1], 1)
+    agent.connect(1, 1)
+
+    def burst(env):
+        yield env.timeout(0.1)
+        agent.send(100)
+        agent.send(100)  # same instant: first is still unresolved
+
+    env.process(burst(env))
+    env.run(until=2.0)
+    assert nodes[0].arp.packets_dropped == 1
+    assert sink.packets == 1
+
+
+def test_broadcast_bypasses_arp(env):
+    nodes = build_pair(env)
+    agent = UdpAgent(nodes[0], 7)
+    agent.connect(BROADCAST, 7)
+    sink = UdpSink(nodes[1], 7)
+    send_after(env, agent)
+    env.run(until=1.0)
+    assert sink.packets == 1
+    assert nodes[0].arp.requests_sent == 0
+
+
+def test_first_packet_pays_the_arp_round_trip(env):
+    """Initial delay with ARP exceeds initial delay without it."""
+
+    def initial_delay(use_arp):
+        env_local = Environment()
+        nodes = build_pair(env_local, use_arp=use_arp)
+        agent = UdpAgent(nodes[0], 1)
+        sink = UdpSink(nodes[1], 1)
+        agent.connect(1, 1)
+
+        def proc(env_local):
+            yield env_local.timeout(0.1)
+            agent.send(100)
+
+        env_local.process(proc(env_local))
+        env_local.run(until=2.0)
+        assert sink.packets == 1
+        return sink.records[0].delay
+
+    assert initial_delay(True) > initial_delay(False)
+
+
+def test_trial_config_wires_arp():
+    from repro.core.scenario import EblScenario
+    from repro.core.trials import TRIAL_3
+
+    with_arp = EblScenario(
+        TRIAL_3.with_overrides(enable_trace=False, use_arp=True)
+    )
+    assert all(v.node.arp is not None for v in with_arp.vehicles)
+    without = EblScenario(TRIAL_3.with_overrides(enable_trace=False))
+    assert all(v.node.arp is None for v in without.vehicles)
+
+
+def test_ebl_trial_runs_with_arp():
+    from repro.core.analysis import analyze_trial
+    from repro.core.runner import run_trial
+    from repro.core.trials import TRIAL_3
+
+    plain = analyze_trial(
+        run_trial(TRIAL_3.with_overrides(duration=15.0, enable_trace=False))
+    )
+    arped = analyze_trial(
+        run_trial(
+            TRIAL_3.with_overrides(
+                duration=15.0, enable_trace=False, use_arp=True
+            )
+        )
+    )
+    assert arped.throughput.average > 0.3
+    # ARP adds a resolution RTT in front of the very first warning.
+    assert arped.initial_packet_delay >= plain.initial_packet_delay

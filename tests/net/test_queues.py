@@ -1,0 +1,164 @@
+"""Unit tests for the interface queues."""
+
+import pytest
+
+from repro.des import Environment
+from repro.net.headers import IpHeader
+from repro.net.packet import Packet, PacketType
+from repro.net.queues import DropTailQueue, PriQueue, REDQueue
+
+
+def pkt(ptype=PacketType.TCP, size=1000):
+    return Packet(ptype=ptype, size=size, ip=IpHeader(src=0, dst=1))
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+# -- DropTail ----------------------------------------------------------------
+
+
+def test_queue_limit_must_be_positive(env):
+    with pytest.raises(ValueError):
+        DropTailQueue(env, limit=0)
+
+
+def test_droptail_fifo_order(env):
+    q = DropTailQueue(env)
+    packets = [pkt() for _ in range(3)]
+    for p in packets:
+        assert q.put(p)
+    out = [q.get().value for _ in range(3)]
+    assert [p.uid for p in out] == [p.uid for p in packets]
+
+
+def test_droptail_drops_when_full(env):
+    drops = []
+    q = DropTailQueue(env, limit=2, drop_callback=lambda p, r: drops.append(r))
+    assert q.put(pkt())
+    assert q.put(pkt())
+    assert not q.put(pkt())
+    assert drops == ["IFQ"]
+    assert q.dropped == 1
+    assert len(q) == 2
+
+
+def test_droptail_hands_to_waiting_getter_even_when_full(env):
+    q = DropTailQueue(env, limit=1)
+    got = q.get()
+    assert not got.triggered
+    p = pkt()
+    assert q.put(p)
+    assert got.triggered and got.value is p
+    assert len(q) == 0
+
+
+def test_droptail_byte_length(env):
+    q = DropTailQueue(env)
+    q.put(pkt(size=100))
+    q.put(pkt(size=250))
+    assert q.byte_length == 350
+
+
+def test_droptail_counters(env):
+    q = DropTailQueue(env, limit=1)
+    q.put(pkt())
+    q.put(pkt())
+    q.get()
+    assert (q.enqueued, q.dropped, q.dequeued) == (1, 1, 1)
+
+
+def test_requeue_puts_packet_at_head(env):
+    q = DropTailQueue(env)
+    first, second = pkt(), pkt()
+    q.put(first)
+    q.put(second)
+    head = q.get().value
+    assert head is first
+    q.requeue(head)
+    assert q.get().value is first
+
+
+def test_requeue_drops_when_full(env):
+    q = DropTailQueue(env, limit=1)
+    q.put(pkt())
+    assert not q.requeue(pkt())
+    assert q.dropped == 1
+
+
+def test_remove_matching_filters_queue(env):
+    q = DropTailQueue(env)
+    keep = pkt(ptype=PacketType.TCP)
+    drop = pkt(ptype=PacketType.CBR)
+    q.put(keep)
+    q.put(drop)
+    removed = q.remove_matching(lambda p: p.ptype == PacketType.CBR)
+    assert [p.uid for p in removed] == [drop.uid]
+    assert len(q) == 1
+    assert q.get().value is keep
+
+
+# -- PriQueue -------------------------------------------------------------------
+
+
+def test_priqueue_promotes_routing_packets(env):
+    q = PriQueue(env)
+    data1 = pkt(ptype=PacketType.TCP)
+    data2 = pkt(ptype=PacketType.TCP)
+    ctrl = pkt(ptype=PacketType.AODV)
+    q.put(data1)
+    q.put(data2)
+    q.put(ctrl)
+    assert q.get().value is ctrl
+    assert q.get().value is data1
+
+
+def test_priqueue_keeps_routing_packets_in_order(env):
+    q = PriQueue(env)
+    ctrl1 = pkt(ptype=PacketType.AODV)
+    ctrl2 = pkt(ptype=PacketType.DSDV)
+    q.put(pkt(ptype=PacketType.TCP))
+    q.put(ctrl1)
+    q.put(ctrl2)
+    assert q.get().value is ctrl1
+    assert q.get().value is ctrl2
+
+
+def test_priqueue_still_drops_when_full(env):
+    q = PriQueue(env, limit=1)
+    q.put(pkt())
+    assert not q.put(pkt(ptype=PacketType.AODV))
+
+
+# -- REDQueue ----------------------------------------------------------------------
+
+
+def test_red_parameters_validated(env):
+    with pytest.raises(ValueError):
+        REDQueue(env, min_thresh=10, max_thresh=5)
+    with pytest.raises(ValueError):
+        REDQueue(env, max_prob=0)
+
+
+def test_red_behaves_like_droptail_when_empty(env):
+    q = REDQueue(env)
+    assert q.put(pkt())
+    assert len(q) == 1
+
+
+def test_red_drops_probabilistically_above_min_threshold(env):
+    q = REDQueue(env, limit=100, min_thresh=2, max_thresh=5, max_prob=1.0,
+                 weight=1.0)
+    outcomes = [q.put(pkt()) for _ in range(50)]
+    assert not all(outcomes), "RED never early-dropped"
+    assert q.dropped > 0
+
+
+def test_red_hard_drops_above_max_threshold(env):
+    q = REDQueue(env, limit=100, min_thresh=1, max_thresh=3, weight=1.0)
+    for _ in range(10):
+        q.put(pkt())
+    # Average queue is now far above max_thresh: every arrival is dropped.
+    assert not q.put(pkt())

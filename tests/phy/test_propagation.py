@@ -1,0 +1,146 @@
+"""Unit and property tests for the propagation models."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.phy.propagation import (
+    FreeSpace,
+    LogNormalShadowing,
+    TwoRayGround,
+    friis,
+)
+from repro.phy.radio import RadioParams
+
+#: ns-2 WaveLAN defaults used throughout.
+PARAMS = RadioParams()
+
+
+def test_friis_inverse_square_law():
+    p1 = friis(1.0, 100.0, 0.328, 1.0, 1.0, 1.0)
+    p2 = friis(1.0, 200.0, 0.328, 1.0, 1.0, 1.0)
+    assert p1 / p2 == pytest.approx(4.0)
+
+
+def test_friis_at_zero_distance_returns_tx_power():
+    assert friis(0.5, 0.0, 0.328, 1, 1, 1) == 0.5
+
+
+def test_free_space_matches_friis():
+    model = FreeSpace()
+    assert model.rx_power(1.0, 150.0, 0.328) == pytest.approx(
+        friis(1.0, 150.0, 0.328, 1, 1, 1)
+    )
+
+
+def test_two_ray_equals_friis_below_crossover():
+    model = TwoRayGround()
+    wavelength = PARAMS.wavelength
+    crossover = model.crossover_distance(wavelength)
+    d = crossover / 2
+    assert model.rx_power(1.0, d, wavelength) == pytest.approx(
+        friis(1.0, d, wavelength, 1, 1, 1)
+    )
+
+
+def test_two_ray_fourth_power_beyond_crossover():
+    model = TwoRayGround()
+    wavelength = PARAMS.wavelength
+    crossover = model.crossover_distance(wavelength)
+    d = crossover * 3
+    p1 = model.rx_power(1.0, d, wavelength)
+    p2 = model.rx_power(1.0, 2 * d, wavelength)
+    assert p1 / p2 == pytest.approx(16.0)
+
+
+def test_ns2_waveLAN_communication_range_is_250m():
+    """The classic ns-2 configuration: RXThresh reached at ~250 m."""
+    model = TwoRayGround()
+    rng = model.range_for_threshold(
+        PARAMS.tx_power, PARAMS.rx_threshold, PARAMS.wavelength
+    )
+    assert rng == pytest.approx(250.0, rel=0.02)
+
+
+def test_ns2_waveLAN_carrier_sense_range_is_550m():
+    model = TwoRayGround()
+    rng = model.range_for_threshold(
+        PARAMS.tx_power, PARAMS.cs_threshold, PARAMS.wavelength
+    )
+    assert rng == pytest.approx(550.0, rel=0.02)
+
+
+def test_platoon_geometry_is_well_inside_range():
+    """All six vehicles of the paper's scenario hear each other: the
+    maximal separation (~300 m diagonal early on) may exceed range, but
+    the in-platoon 25/50 m spacings are far inside 250 m."""
+    model = TwoRayGround()
+    for d in (25.0, 50.0, 100.0, 200.0):
+        power = model.rx_power(PARAMS.tx_power, d, PARAMS.wavelength)
+        assert power > PARAMS.rx_threshold
+
+
+def test_shadowing_deterministic_with_zero_sigma():
+    model = LogNormalShadowing(path_loss_exponent=2.0, sigma_db=0.0)
+    p1 = model.rx_power(1.0, 100.0, 0.328)
+    p2 = model.rx_power(1.0, 100.0, 0.328)
+    assert p1 == p2
+
+
+def test_shadowing_matches_friis_at_reference_with_exponent_two():
+    model = LogNormalShadowing(path_loss_exponent=2.0, sigma_db=0.0,
+                               reference_distance=1.0)
+    assert model.rx_power(1.0, 1.0, 0.328) == pytest.approx(
+        friis(1.0, 1.0, 0.328, 1, 1, 1)
+    )
+
+
+def test_shadowing_parameter_validation():
+    with pytest.raises(ValueError):
+        LogNormalShadowing(path_loss_exponent=0)
+    with pytest.raises(ValueError):
+        LogNormalShadowing(sigma_db=-1)
+    with pytest.raises(ValueError):
+        LogNormalShadowing(reference_distance=0)
+
+
+def test_shadowing_randomness_has_spread():
+    model = LogNormalShadowing(sigma_db=8.0)
+    values = {model.rx_power(1.0, 100.0, 0.328) for _ in range(20)}
+    assert len(values) > 1
+
+
+@given(st.floats(min_value=1.0, max_value=10_000.0))
+@settings(max_examples=100, deadline=None)
+def test_two_ray_monotonic_in_distance(distance):
+    """More distance never means more power."""
+    model = TwoRayGround()
+    wavelength = PARAMS.wavelength
+    near = model.rx_power(1.0, distance, wavelength)
+    far = model.rx_power(1.0, distance * 1.5, wavelength)
+    assert far <= near + 1e-18
+
+
+@given(
+    st.floats(min_value=0.01, max_value=10.0),
+    st.floats(min_value=1.0, max_value=5000.0),
+)
+@settings(max_examples=100, deadline=None)
+def test_free_space_linear_in_tx_power(tx_power, distance):
+    model = FreeSpace()
+    single = model.rx_power(tx_power, distance, 0.328)
+    double = model.rx_power(2 * tx_power, distance, 0.328)
+    assert double == pytest.approx(2 * single)
+
+
+@given(st.floats(min_value=1e-12, max_value=1e-6))
+@settings(max_examples=50, deadline=None)
+def test_range_for_threshold_is_consistent(threshold):
+    """Power at the solved range equals the threshold (by construction)."""
+    model = TwoRayGround()
+    rng = model.range_for_threshold(PARAMS.tx_power, threshold, PARAMS.wavelength)
+    if rng > 0:
+        power = model.rx_power(PARAMS.tx_power, rng, PARAMS.wavelength)
+        assert power == pytest.approx(threshold, rel=1e-3)

@@ -1,0 +1,179 @@
+"""AODV intermediate-node behaviours: cached replies and TTL bounds."""
+
+import pytest
+
+from repro.des import Environment
+from repro.routing.aodv import Aodv, AodvParams
+from repro.transport.udp import UdpAgent, UdpSink
+
+from tests.conftest import build_line_topology, start_all
+
+
+def aodv_factory(params=None):
+    return lambda node: Aodv(node, params)
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+def send_after(env, agent, delay=0.1, payload=100):
+    def proc(env):
+        yield env.timeout(delay)
+        agent.send(payload)
+
+    env.process(proc(env))
+
+
+def test_intermediate_node_replies_from_fresh_cache(env):
+    """Node 1 already holds a valid, sequence-numbered route to node 2;
+    a later discovery by node 0 must be answered by node 1 without the
+    RREQ ever reaching node 2."""
+    _, nodes = build_line_topology(
+        env, 3, spacing=200.0, routing_factory=aodv_factory()
+    )
+    start_all(nodes)
+    # Phase 1: node 1 discovers node 2 itself (builds a cached route with
+    # a valid destination seqno).
+    probe, probe_sink = UdpAgent(nodes[1], 9), UdpSink(nodes[2], 9)
+    probe.connect(2, 9)
+    send_after(env, probe, delay=0.1)
+    env.run(until=2.0)
+    assert probe_sink.packets == 1
+    entry = nodes[1].routing.table.get(2)
+    assert entry is not None and entry.valid_seqno
+
+    # Phase 2: node 0 discovers node 2. Count RREQs node 2 processes.
+    rreq_seen_at_2_before = len(nodes[2].routing._rreq_seen)
+    agent, sink = UdpAgent(nodes[0], 1), UdpSink(nodes[2], 1)
+    agent.connect(2, 1)
+    send_after(env, agent, delay=0.1)
+    env.run(until=5.0)
+    assert sink.packets == 1
+    # Node 1 answered from cache (rrep_sent increments there).
+    assert nodes[1].routing.stats.rrep_sent >= 1
+    # Data still flows through node 1.
+    assert nodes[1].packets_forwarded >= 1
+
+
+def test_intermediate_reply_hop_count_is_route_length(env):
+    _, nodes = build_line_topology(
+        env, 3, spacing=200.0, routing_factory=aodv_factory()
+    )
+    start_all(nodes)
+    probe = UdpAgent(nodes[1], 9)
+    probe.connect(2, 9)
+    send_after(env, probe, delay=0.1)
+    env.run(until=2.0)
+    agent = UdpAgent(nodes[0], 1)
+    agent.connect(2, 1)
+    send_after(env, agent, delay=0.1)
+    env.run(until=5.0)
+    route = nodes[0].routing.table.get(2)
+    assert route is not None
+    assert route.hop_count == 2  # 0 -> 1 -> 2
+
+
+def test_rreq_ttl_limits_flood_radius(env):
+    """With ttl_start=1 and no escalation headroom, a 2-hop destination
+    is unreachable in the first ring; the expanding ring must escalate
+    before the route resolves."""
+    params = AodvParams(
+        ttl_start=1, ttl_increment=1, ttl_threshold=3,
+        rreq_retries=2, node_traversal_time=0.02,
+    )
+    _, nodes = build_line_topology(
+        env, 3, spacing=200.0, routing_factory=aodv_factory(params)
+    )
+    start_all(nodes)
+    agent, sink = UdpAgent(nodes[0], 1), UdpSink(nodes[2], 1)
+    agent.connect(2, 1)
+    send_after(env, agent, delay=0.1)
+    env.run(until=10.0)
+    assert sink.packets == 1
+    # More than one RREQ was needed (the first ring died at node 1).
+    assert nodes[0].routing.stats.rreq_sent >= 2
+
+
+def test_rreq_not_forwarded_past_ttl(env):
+    """A TTL-1 RREQ must never be rebroadcast by the middle node."""
+    params = AodvParams(
+        ttl_start=1, ttl_increment=1, ttl_threshold=1,
+        rreq_retries=0, node_traversal_time=0.02,
+    )
+    _, nodes = build_line_topology(
+        env, 3, spacing=200.0, routing_factory=aodv_factory(params)
+    )
+    start_all(nodes)
+    agent = UdpAgent(nodes[0], 1)
+    agent.connect(2, 1)
+    send_after(env, agent, delay=0.1)
+    env.run(until=5.0)
+    assert nodes[1].routing.stats.rreq_forwarded == 0
+    assert nodes[0].routing.stats.discovery_failures == 1
+
+
+def test_own_rreq_echo_is_ignored(env):
+    """The originator hears its own flood relayed back and must not
+    process it (no self-routes, no reply storms)."""
+    _, nodes = build_line_topology(
+        env, 2, spacing=100.0, routing_factory=aodv_factory()
+    )
+    start_all(nodes)
+    agent, sink = UdpAgent(nodes[0], 1), UdpSink(nodes[1], 1)
+    agent.connect(1, 1)
+    send_after(env, agent, delay=0.1)
+    env.run(until=3.0)
+    assert nodes[0].routing.table.get(0) is None
+    assert sink.packets == 1
+
+
+def test_gratuitous_rrep_teaches_destination_the_origin(env):
+    """When node 1 answers node 0's RREQ from cache, node 2 (the
+    destination) must learn the route back to node 0 without running a
+    discovery of its own (RFC 3561 §6.6.3)."""
+    _, nodes = build_line_topology(
+        env, 3, spacing=200.0, routing_factory=aodv_factory()
+    )
+    start_all(nodes)
+    # Prime node 1's cache with a valid route to node 2.
+    probe, probe_sink = UdpAgent(nodes[1], 9), UdpSink(nodes[2], 9)
+    probe.connect(2, 9)
+    send_after(env, probe, delay=0.1)
+    env.run(until=2.0)
+
+    discoveries_at_2_before = nodes[2].routing.stats.discoveries
+    agent, sink = UdpAgent(nodes[0], 1), UdpSink(nodes[2], 1)
+    agent.connect(2, 1)
+    send_after(env, agent, delay=0.1)
+    env.run(until=5.0)
+    assert sink.packets == 1
+
+    # The destination now routes to the origin...
+    back = nodes[2].routing.table.lookup(0, env.now)
+    assert back is not None
+    assert back.next_hop == 1
+    # ...without having run its own discovery.
+    assert nodes[2].routing.stats.discoveries == discoveries_at_2_before
+
+
+def test_gratuitous_rrep_can_be_disabled(env):
+    params = AodvParams(gratuitous_rrep=False)
+    _, nodes = build_line_topology(
+        env, 3, spacing=200.0, routing_factory=aodv_factory(params)
+    )
+    start_all(nodes)
+    probe = UdpAgent(nodes[1], 9)
+    probe.connect(2, 9)
+    send_after(env, probe, delay=0.1)
+    env.run(until=2.0)
+    agent = UdpAgent(nodes[0], 1)
+    agent.connect(2, 1)
+    send_after(env, agent, delay=0.1)
+    env.run(until=5.0)
+    # Node 2 heard about node 0 only via the reverse-route of whatever
+    # reached it — with the cache answering at node 1, the RREQ never
+    # arrives, so no gratuitous route appears.
+    entry = nodes[2].routing.table.get(0)
+    assert entry is None or entry.next_hop == 1 and not entry.valid_seqno

@@ -1,0 +1,156 @@
+"""Tests for the DSDV baseline protocol."""
+
+import pytest
+
+from repro.des import Environment
+from repro.routing.dsdv import Dsdv, DsdvParams, INFINITY_METRIC
+from repro.transport.udp import UdpAgent, UdpSink
+
+from tests.conftest import build_line_topology, start_all
+
+
+def dsdv_factory(params=None):
+    return lambda node: Dsdv(node, params)
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+def send_after(env, agent, delay, payload=100, count=1, gap=0.05):
+    def proc(env):
+        yield env.timeout(delay)
+        for _ in range(count):
+            agent.send(payload)
+            yield env.timeout(gap)
+
+    env.process(proc(env))
+
+
+def test_periodic_updates_build_neighbour_routes(env):
+    params = DsdvParams(update_interval=1.0, jitter=0.1)
+    _, nodes = build_line_topology(
+        env, 2, spacing=100.0, routing_factory=dsdv_factory(params)
+    )
+    start_all(nodes)
+    env.run(until=3.0)
+    route = nodes[0].routing.table.get(1)
+    assert route is not None
+    assert route.next_hop == 1
+    assert route.hop_count == 1
+    assert nodes[0].routing.updates_sent >= 2
+
+
+def test_multihop_routes_converge(env):
+    params = DsdvParams(update_interval=0.5, jitter=0.05)
+    _, nodes = build_line_topology(
+        env, 4, spacing=200.0, routing_factory=dsdv_factory(params)
+    )
+    start_all(nodes)
+    env.run(until=5.0)
+    route = nodes[0].routing.table.get(3)
+    assert route is not None
+    assert route.next_hop == 1
+    assert route.hop_count == 3
+
+
+def test_data_delivery_after_convergence(env):
+    params = DsdvParams(update_interval=0.5, jitter=0.05)
+    _, nodes = build_line_topology(
+        env, 3, spacing=200.0, routing_factory=dsdv_factory(params)
+    )
+    start_all(nodes)
+    src, sink = UdpAgent(nodes[0], 1), UdpSink(nodes[2], 1)
+    src.connect(2, 1)
+    send_after(env, src, delay=4.0, count=3)
+    env.run(until=8.0)
+    assert sink.packets == 3
+    assert nodes[1].packets_forwarded >= 3
+
+
+def test_data_before_convergence_is_dropped(env):
+    params = DsdvParams(update_interval=5.0, jitter=0.1)
+    _, nodes = build_line_topology(
+        env, 2, spacing=100.0, routing_factory=dsdv_factory(params)
+    )
+    start_all(nodes)
+    src = UdpAgent(nodes[0], 1)
+    src.connect(1, 1)
+    send_after(env, src, delay=0.01)  # before any update exchange
+    env.run(until=0.1)
+    assert nodes[0].packets_dropped == 1
+
+
+def test_newer_seqno_wins(env):
+    _, nodes = build_line_topology(env, 1, routing_factory=dsdv_factory())
+    dsdv = nodes[0].routing
+    from repro.routing.table import RouteEntry
+
+    dsdv.table.upsert(
+        RouteEntry(dst=5, next_hop=2, hop_count=4, seqno=10,
+                   valid_seqno=True, expires=1e9)
+    )
+    # Simulate receiving a fresher advert via another neighbour.
+    from repro.net.headers import DsdvHeader, IpHeader
+    from repro.net.packet import Packet, PacketType
+
+    pkt = Packet(
+        ptype=PacketType.DSDV,
+        size=100,
+        ip=IpHeader(src=3, dst=-1),
+        headers={"dsdv": DsdvHeader(entries=[(5, 1, 12)])},
+    )
+    dsdv._recv_update(pkt)
+    entry = dsdv.table.get(5)
+    assert entry.next_hop == 3
+    assert entry.seqno == 12
+    assert entry.hop_count == 2
+
+
+def test_infinity_metric_invalidates_route(env):
+    _, nodes = build_line_topology(env, 1, routing_factory=dsdv_factory())
+    dsdv = nodes[0].routing
+    from repro.net.headers import DsdvHeader, IpHeader
+    from repro.net.packet import Packet, PacketType
+    from repro.routing.table import RouteEntry
+
+    dsdv.table.upsert(
+        RouteEntry(dst=5, next_hop=3, hop_count=2, seqno=10,
+                   valid_seqno=True, expires=1e9)
+    )
+    pkt = Packet(
+        ptype=PacketType.DSDV,
+        size=100,
+        ip=IpHeader(src=3, dst=-1),
+        headers={"dsdv": DsdvHeader(entries=[(5, INFINITY_METRIC, 11)])},
+    )
+    dsdv._recv_update(pkt)
+    entry = dsdv.table.get(5)
+    assert not entry.valid
+
+
+def test_link_failure_triggers_triggered_update(env):
+    params = DsdvParams(update_interval=2.0, jitter=0.1)
+    _, nodes = build_line_topology(
+        env, 2, spacing=100.0, routing_factory=dsdv_factory(params)
+    )
+    start_all(nodes)
+    env.run(until=3.0)
+    src = UdpAgent(nodes[0], 1)
+    src.connect(1, 1)
+    before = nodes[0].routing.updates_sent
+    nodes[1].mobility.x = 10_000.0
+    send_after(env, src, delay=0.0)
+    env.run(until=6.0)
+    entry = nodes[0].routing.table.get(1)
+    assert entry is None or not entry.valid
+    assert nodes[0].routing.updates_sent > before
+
+
+def test_own_address_never_learned(env):
+    _, nodes = build_line_topology(env, 2, spacing=100.0,
+                                   routing_factory=dsdv_factory())
+    start_all(nodes)
+    env.run(until=3.0)
+    assert nodes[0].routing.table.get(0) is None

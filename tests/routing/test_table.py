@@ -1,0 +1,124 @@
+"""Unit tests for the routing table."""
+
+from repro.routing.table import RouteEntry, RouteTable
+
+
+def entry(dst=1, next_hop=2, hops=1, seqno=0, expires=100.0, valid=True):
+    return RouteEntry(
+        dst=dst,
+        next_hop=next_hop,
+        hop_count=hops,
+        seqno=seqno,
+        valid_seqno=True,
+        expires=expires,
+        valid=valid,
+    )
+
+
+def test_empty_table():
+    table = RouteTable()
+    assert len(table) == 0
+    assert table.get(1) is None
+    assert table.lookup(1, 0.0) is None
+    assert 1 not in table
+
+
+def test_upsert_and_get():
+    table = RouteTable()
+    table.upsert(entry(dst=5))
+    assert 5 in table
+    assert table.get(5).next_hop == 2
+    assert len(table) == 1
+
+
+def test_upsert_replaces():
+    table = RouteTable()
+    table.upsert(entry(dst=5, next_hop=2))
+    table.upsert(entry(dst=5, next_hop=3))
+    assert table.get(5).next_hop == 3
+    assert len(table) == 1
+
+
+def test_lookup_respects_expiry():
+    table = RouteTable()
+    table.upsert(entry(dst=5, expires=10.0))
+    assert table.lookup(5, 9.9) is not None
+    assert table.lookup(5, 10.0) is None
+
+
+def test_lookup_respects_validity():
+    table = RouteTable()
+    table.upsert(entry(dst=5, valid=False))
+    assert table.lookup(5, 0.0) is None
+
+
+def test_invalidate_bumps_seqno():
+    table = RouteTable()
+    table.upsert(entry(dst=5, seqno=4))
+    assert table.invalidate(5, now=1.0, hold=15.0)
+    got = table.get(5)
+    assert not got.valid
+    assert got.seqno == 5
+    assert got.expires == 16.0
+
+
+def test_invalidate_missing_or_already_invalid_returns_false():
+    table = RouteTable()
+    assert not table.invalidate(9, now=0.0)
+    table.upsert(entry(dst=5, valid=False))
+    assert not table.invalidate(5, now=0.0)
+
+
+def test_routes_via_filters_by_next_hop():
+    table = RouteTable()
+    table.upsert(entry(dst=5, next_hop=2))
+    table.upsert(entry(dst=6, next_hop=2))
+    table.upsert(entry(dst=7, next_hop=3))
+    via2 = table.routes_via(2)
+    assert sorted(e.dst for e in via2) == [5, 6]
+
+
+def test_routes_via_excludes_invalid():
+    table = RouteTable()
+    table.upsert(entry(dst=5, next_hop=2, valid=False))
+    assert table.routes_via(2) == []
+
+
+def test_purge_expired_removes_old_entries():
+    table = RouteTable()
+    table.upsert(entry(dst=5, expires=10.0))
+    table.upsert(entry(dst=6, expires=100.0))
+    removed = table.purge_expired(now=50.0)
+    assert removed == 1
+    assert 5 not in table
+    assert 6 in table
+
+
+def test_purge_respects_grace():
+    table = RouteTable()
+    table.upsert(entry(dst=5, expires=10.0))
+    assert table.purge_expired(now=12.0, grace=5.0) == 0
+    assert table.purge_expired(now=16.0, grace=5.0) == 1
+
+
+def test_remove():
+    table = RouteTable()
+    table.upsert(entry(dst=5))
+    table.remove(5)
+    table.remove(5)  # idempotent
+    assert 5 not in table
+
+
+def test_iteration():
+    table = RouteTable()
+    table.upsert(entry(dst=5))
+    table.upsert(entry(dst=6))
+    assert sorted(e.dst for e in table) == [5, 6]
+
+
+def test_is_usable_combines_valid_and_expiry():
+    e = entry(expires=10.0)
+    assert e.is_usable(5.0)
+    assert not e.is_usable(10.0)
+    e.valid = False
+    assert not e.is_usable(5.0)

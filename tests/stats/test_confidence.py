@@ -1,0 +1,107 @@
+"""Tests for the confidence-interval analysis."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.confidence import (
+    ConfidenceResult,
+    mean_confidence_interval,
+    required_samples,
+)
+
+
+def test_interval_on_known_data():
+    # Classic example: t(0.975, df=4) = 2.776 on [1..5], std-err = 0.7071.
+    result = mean_confidence_interval([1.0, 2.0, 3.0, 4.0, 5.0], level=0.95)
+    assert result.mean == pytest.approx(3.0)
+    assert result.half_width == pytest.approx(2.776 * math.sqrt(2.5 / 5), rel=1e-3)
+    assert result.n == 5
+
+
+def test_bounds_are_symmetric():
+    result = mean_confidence_interval([10.0, 12.0, 14.0])
+    assert result.high - result.mean == pytest.approx(result.mean - result.low)
+
+
+def test_constant_data_has_zero_width():
+    result = mean_confidence_interval([5.0] * 10)
+    assert result.half_width == 0.0
+    assert result.relative_precision == 0.0
+
+
+def test_zero_mean_has_infinite_relative_precision():
+    result = mean_confidence_interval([-1.0, 1.0])
+    assert result.relative_precision == math.inf
+
+
+def test_requires_two_samples():
+    with pytest.raises(ValueError):
+        mean_confidence_interval([1.0])
+
+
+def test_level_validated():
+    with pytest.raises(ValueError):
+        mean_confidence_interval([1.0, 2.0], level=1.5)
+
+
+def test_str_rendering():
+    text = str(mean_confidence_interval([1.0, 2.0, 3.0]))
+    assert "95% CI" in text
+    assert "relative precision" in text
+
+
+def test_higher_level_widens_interval():
+    data = [random.Random(0).gauss(10, 2) for _ in range(30)]
+    ci90 = mean_confidence_interval(data, level=0.90)
+    ci99 = mean_confidence_interval(data, level=0.99)
+    assert ci99.half_width > ci90.half_width
+    assert ci90.mean == ci99.mean
+
+
+def test_coverage_property():
+    """~95% of intervals from N(mu, sigma) samples should cover mu."""
+    rng = random.Random(1234)
+    mu, sigma = 5.0, 1.0
+    covered = 0
+    runs = 300
+    for _ in range(runs):
+        data = [rng.gauss(mu, sigma) for _ in range(20)]
+        ci = mean_confidence_interval(data, level=0.95)
+        if ci.low <= mu <= ci.high:
+            covered += 1
+    assert covered / runs > 0.90  # generous band around the nominal 95%
+
+
+@given(
+    st.lists(
+        st.floats(min_value=0.1, max_value=100.0), min_size=2, max_size=50
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_more_data_never_increases_std_error_scale(values):
+    """Doubling the same data halves variance estimate contribution:
+    the CI on values+values is no wider than on values (same spread,
+    more samples)."""
+    one = mean_confidence_interval(values)
+    two = mean_confidence_interval(values + values)
+    assert two.half_width <= one.half_width + 1e-9
+
+
+def test_required_samples_estimates_more_for_tighter_targets():
+    rng = random.Random(7)
+    data = [rng.gauss(10, 3) for _ in range(20)]
+    loose = required_samples(data, target_relative_precision=0.2)
+    tight = required_samples(data, target_relative_precision=0.02)
+    assert tight > loose
+    assert tight >= 100 * loose * 0.5  # roughly quadratic scaling
+
+
+def test_required_samples_validation():
+    with pytest.raises(ValueError):
+        required_samples([1.0, 2.0], target_relative_precision=1.5)
+    with pytest.raises(ValueError):
+        required_samples([-1.0, 1.0], target_relative_precision=0.1)

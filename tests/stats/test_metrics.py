@@ -1,0 +1,172 @@
+"""Tests for jitter, PDR, hop-count, and overhead metrics."""
+
+import pytest
+
+from repro.stats.delay import DelaySample, DelaySeries
+from repro.stats.metrics import (
+    DeliveryStats,
+    delay_jitter_series,
+    hop_count_stats,
+    jitter_summary,
+    packet_delivery_ratio,
+    rfc3550_jitter,
+    routing_overhead,
+)
+from repro.trace.events import TraceRecord
+
+
+def make_series(delays):
+    return DelaySeries(
+        [
+            DelaySample(packet_id=i, sent_at=float(i), received_at=float(i) + d)
+            for i, d in enumerate(delays)
+        ]
+    )
+
+
+# -- jitter -----------------------------------------------------------------
+
+
+def test_jitter_series_absolute_differences():
+    series = make_series([0.1, 0.3, 0.2])
+    assert delay_jitter_series(series) == [
+        pytest.approx(0.2), pytest.approx(0.1)
+    ]
+
+
+def test_jitter_zero_for_constant_delay():
+    series = make_series([0.25] * 20)
+    assert jitter_summary(series).maximum == pytest.approx(0.0)
+    assert rfc3550_jitter(series) == pytest.approx(0.0)
+
+
+def test_jitter_summary_needs_two_samples():
+    with pytest.raises(ValueError):
+        jitter_summary(make_series([0.1]))
+
+
+def test_rfc3550_jitter_converges_toward_mean_variation():
+    # Alternating 0.1/0.3 delays: |D| = 0.2 every step; J -> 0.2.
+    series = make_series([0.1, 0.3] * 200)
+    assert rfc3550_jitter(series) == pytest.approx(0.2, rel=0.01)
+
+
+def test_rfc3550_jitter_smoother_than_raw():
+    series = make_series([0.1] * 50 + [0.9] + [0.1] * 5)
+    smooth = rfc3550_jitter(series)
+    raw_max = max(delay_jitter_series(series))
+    assert smooth < raw_max
+
+
+# -- PDR ---------------------------------------------------------------------------
+
+
+def rec(event, layer, uid, ptype="tcp", node=0, time=1.0):
+    return TraceRecord(event=event, time=time, node=node, layer=layer,
+                       uid=uid, ptype=ptype, size=1000, src=0, dst=1)
+
+
+def test_pdr_counts_unique_uids():
+    records = [
+        rec("s", "AGT", 1),
+        rec("s", "AGT", 2),
+        rec("s", "AGT", 3),
+        rec("r", "AGT", 1, node=1),
+        rec("r", "AGT", 2, node=1),
+        rec("D", "IFQ", 3),
+    ]
+    stats = packet_delivery_ratio(records)
+    assert stats.originated == 3
+    assert stats.delivered == 2
+    assert stats.dropped == 1
+    assert stats.ratio == pytest.approx(2 / 3)
+
+
+def test_pdr_ignores_control_and_mac_layers():
+    records = [
+        rec("s", "AGT", 1),
+        rec("s", "RTR", 1),     # routing-layer resend of the same packet
+        rec("s", "AGT", 9, ptype="aodv"),  # control traffic
+        rec("r", "MAC", 1, node=1),        # MAC-layer reception only
+    ]
+    stats = packet_delivery_ratio(records)
+    assert stats.originated == 1
+    assert stats.delivered == 0
+
+
+def test_pdr_filter_by_source():
+    records = [
+        rec("s", "AGT", 1, node=0),
+        rec("s", "AGT", 2, node=5),
+        rec("r", "AGT", 1, node=1),
+        rec("r", "AGT", 2, node=1),
+    ]
+    stats = packet_delivery_ratio(records, src_node=0)
+    assert stats.originated == 1
+    assert stats.delivered == 1
+
+
+def test_pdr_empty_is_perfect():
+    assert packet_delivery_ratio([]).ratio == 1.0
+
+
+def test_delivery_stats_ratio_zero_origin():
+    assert DeliveryStats(0, 0, 0).ratio == 1.0
+
+
+# -- hop counts -----------------------------------------------------------------------
+
+
+def test_hop_count_single_hop():
+    records = [rec("s", "AGT", 1), rec("r", "AGT", 1, node=1)]
+    stats = hop_count_stats(records)
+    assert stats.average == 1.0
+
+
+def test_hop_count_counts_forwards():
+    records = [
+        rec("s", "AGT", 1),
+        rec("f", "RTR", 1, node=2),
+        rec("f", "RTR", 1, node=3),
+        rec("r", "AGT", 1, node=4),
+        rec("s", "AGT", 2),
+        rec("r", "AGT", 2, node=1),
+    ]
+    stats = hop_count_stats(records)
+    assert stats.maximum == 3
+    assert stats.minimum == 1
+    assert stats.average == 2.0
+
+
+def test_hop_count_requires_deliveries():
+    with pytest.raises(ValueError):
+        hop_count_stats([rec("s", "AGT", 1)])
+
+
+# -- routing overhead --------------------------------------------------------------------
+
+
+def test_routing_overhead_ratio():
+    records = [
+        TraceRecord("s", 1.0, 0, "RTR", 10, "aodv", 64, 0, -1),
+        TraceRecord("s", 1.1, 1, "RTR", 11, "aodv", 44, 1, 0),
+        rec("r", "AGT", 1, node=1),  # 1000 data bytes delivered
+    ]
+    assert routing_overhead(records) == pytest.approx(108 / 1000)
+
+
+def test_routing_overhead_no_data():
+    records = [TraceRecord("s", 1.0, 0, "RTR", 10, "aodv", 64, 0, -1)]
+    assert routing_overhead(records) == float("inf")
+    assert routing_overhead([]) == 0.0
+
+
+def test_routing_overhead_from_real_trial():
+    """AODV overhead in the real scenario is tiny: a handful of control
+    packets against a saturated TCP stream."""
+    from repro.core.runner import run_trial
+    from repro.core.trials import TRIAL_3
+
+    result = run_trial(TRIAL_3.with_overrides(duration=15.0))
+    overhead = routing_overhead(result.tracer.records)
+    assert 0 < overhead < 0.05

@@ -1,0 +1,258 @@
+"""Tests for delay series, throughput series, summaries, and recorders."""
+
+import pytest
+
+from repro.des import Environment
+from repro.stats.delay import DelaySample, DelaySeries, delays_from_trace
+from repro.stats.recorder import ThroughputRecorder
+from repro.stats.summary import summarize
+from repro.stats.throughput import ThroughputSample, ThroughputSeries
+from repro.trace.events import TraceRecord
+
+
+def make_series(delays):
+    return DelaySeries(
+        [
+            DelaySample(packet_id=i, sent_at=float(i), received_at=float(i) + d)
+            for i, d in enumerate(delays)
+        ]
+    )
+
+
+# -- summary -----------------------------------------------------------------
+
+
+def test_summarize_basic():
+    s = summarize([1.0, 2.0, 3.0])
+    assert s.count == 3
+    assert s.average == pytest.approx(2.0)
+    assert s.minimum == 1.0
+    assert s.maximum == 3.0
+
+
+def test_summarize_empty_raises():
+    with pytest.raises(ValueError):
+        summarize([])
+
+
+def test_summary_str():
+    assert "avg=" in str(summarize([1.0]))
+
+
+# -- delay series ----------------------------------------------------------------
+
+
+def test_delay_sample_computes_delay():
+    s = DelaySample(packet_id=0, sent_at=1.0, received_at=1.5)
+    assert s.delay == pytest.approx(0.5)
+
+
+def test_delay_series_summary():
+    series = make_series([0.1, 0.2, 0.3])
+    summary = series.summary()
+    assert summary.average == pytest.approx(0.2)
+
+
+def test_initial_delay_is_first_packet():
+    series = make_series([0.9, 0.1, 0.1])
+    assert series.initial_delay == pytest.approx(0.9)
+
+
+def test_initial_delay_empty_raises():
+    with pytest.raises(ValueError):
+        DelaySeries([]).initial_delay
+
+
+def test_transient_detection_on_synthetic_knee():
+    """20 decaying samples then 80 flat ones: the split should land near
+    the knee."""
+    delays = [2.0 - 0.09 * i for i in range(20)] + [0.2] * 80
+    series = make_series(delays)
+    split = series.transient_length()
+    assert 5 <= split <= 25
+    assert series.steady_state_level() == pytest.approx(0.2, rel=0.3)
+
+
+def test_transient_zero_for_flat_series():
+    series = make_series([0.5] * 50)
+    assert series.transient_length() == 0
+
+
+def test_transient_and_steady_partition():
+    series = make_series([2.0] * 15 + [0.2] * 50)
+    t = series.transient()
+    s = series.steady_state()
+    assert len(t) + len(s) == len(series)
+    assert all(x.delay == pytest.approx(0.2) for x in s.samples[5:])
+
+
+def test_short_series_has_no_transient():
+    assert make_series([0.1, 0.2]).transient_length() == 0
+
+
+def test_from_records():
+    class Rec:
+        def __init__(self, s, r):
+            self.sent_at, self.received_at = s, r
+
+    series = DelaySeries.from_records([Rec(0.0, 0.5), Rec(1.0, 1.2)])
+    assert len(series) == 2
+    assert series.delays == [pytest.approx(0.5), pytest.approx(0.2)]
+    assert [s.packet_id for s in series] == [0, 1]
+
+
+def test_delays_from_trace_filters_receptions():
+    records = [
+        TraceRecord("s", 1.0, 0, "AGT", 1, "tcp", 1040, 0, 2, timestamp=1.0),
+        TraceRecord("r", 1.5, 2, "AGT", 1, "tcp", 1040, 0, 2, timestamp=1.0),
+        TraceRecord("r", 1.6, 2, "MAC", 1, "tcp", 1040, 0, 2, timestamp=1.0),
+        TraceRecord("r", 2.5, 2, "AGT", 2, "ack", 40, 0, 2, timestamp=2.0),
+        TraceRecord("r", 3.5, 3, "AGT", 3, "tcp", 1040, 0, 3, timestamp=3.0),
+    ]
+    series = delays_from_trace(records, dst_node=2)
+    assert len(series) == 1
+    assert series.delays[0] == pytest.approx(0.5)
+
+
+def test_delays_from_trace_filters_by_source():
+    records = [
+        TraceRecord("r", 1.5, 2, "AGT", 1, "tcp", 1040, 0, 2, timestamp=1.0),
+        TraceRecord("r", 2.5, 2, "AGT", 2, "tcp", 1040, 5, 2, timestamp=2.0),
+    ]
+    assert len(delays_from_trace(records, dst_node=2, src_node=5)) == 1
+
+
+# -- throughput series -----------------------------------------------------------------
+
+
+def test_throughput_summary_and_accessors():
+    series = ThroughputSeries(
+        [ThroughputSample(0.5, 0.0), ThroughputSample(1.0, 2.0),
+         ThroughputSample(1.5, 4.0)]
+    )
+    assert series.times == [0.5, 1.0, 1.5]
+    assert series.values == [0.0, 2.0, 4.0]
+    assert series.summary().average == pytest.approx(2.0)
+
+
+def test_start_of_traffic():
+    series = ThroughputSeries(
+        [ThroughputSample(0.5, 0.0), ThroughputSample(1.0, 0.0),
+         ThroughputSample(1.5, 1.0)]
+    )
+    assert series.start_of_traffic() == 1.5
+
+
+def test_start_of_traffic_never():
+    series = ThroughputSeries([ThroughputSample(0.5, 0.0)])
+    assert series.start_of_traffic() == float("inf")
+
+
+def test_busy_summary_skips_leading_idle():
+    series = ThroughputSeries(
+        [ThroughputSample(0.5, 0.0), ThroughputSample(1.0, 2.0),
+         ThroughputSample(1.5, 0.0), ThroughputSample(2.0, 2.0)]
+    )
+    busy = series.busy_summary()
+    assert busy.count == 3
+    assert busy.minimum == 0.0  # stalls after traffic started still count
+
+
+def test_total_megabits_integrates():
+    series = ThroughputSeries(
+        [ThroughputSample(1.0, 2.0), ThroughputSample(2.0, 4.0)]
+    )
+    assert series.total_megabits() == pytest.approx(2.0 * 1 + 4.0 * 1)
+
+
+# -- recorder --------------------------------------------------------------------------
+
+
+def test_recorder_samples_byte_counter():
+    env = Environment()
+    counter = {"bytes": 0}
+
+    def traffic(env):
+        while True:
+            yield env.timeout(0.1)
+            counter["bytes"] += 12_500  # 1 Mbit/s
+
+    env.process(traffic(env))
+    recorder = ThroughputRecorder(env, lambda: counter["bytes"], interval=0.5)
+    recorder.start()
+    env.run(until=5.05)
+    series = recorder.series()
+    assert len(series) == 10
+    assert series.summary().average == pytest.approx(1.0, rel=0.05)
+
+
+def test_recorder_interval_validated():
+    with pytest.raises(ValueError):
+        ThroughputRecorder(Environment(), lambda: 0, interval=0)
+
+
+def test_recorder_for_sinks_sums_counters():
+    env = Environment()
+
+    class Sink:
+        bytes = 1000
+
+    recorder = ThroughputRecorder.for_sinks(env, [Sink(), Sink()], interval=1.0)
+    assert recorder.bytes_fn() == 2000
+
+
+def test_recorder_start_idempotent():
+    env = Environment()
+    recorder = ThroughputRecorder(env, lambda: 0, interval=1.0)
+    recorder.start()
+    recorder.start()
+    env.run(until=3.5)
+    assert len(recorder.samples) == 3
+
+
+# -- percentiles -----------------------------------------------------------------------
+
+
+def test_percentile_basic():
+    from repro.stats.summary import percentile
+
+    values = list(range(1, 101))  # 1..100
+    assert percentile(values, 0) == 1
+    assert percentile(values, 100) == 100
+    assert percentile(values, 50) == pytest.approx(50.5)
+
+
+def test_percentile_interpolates():
+    from repro.stats.summary import percentile
+
+    assert percentile([10.0, 20.0], 25) == pytest.approx(12.5)
+
+
+def test_percentile_validation():
+    from repro.stats.summary import percentile
+
+    with pytest.raises(ValueError):
+        percentile([], 50)
+    with pytest.raises(ValueError):
+        percentile([1.0], 101)
+
+
+def test_percentile_single_value():
+    from repro.stats.summary import percentile
+
+    assert percentile([7.0], 95) == 7.0
+
+
+def test_percentiles_batch():
+    from repro.stats.summary import percentiles
+
+    result = percentiles([1.0, 2.0, 3.0, 4.0], qs=(50.0, 100.0))
+    assert result[50.0] == pytest.approx(2.5)
+    assert result[100.0] == 4.0
+
+
+def test_delay_series_percentiles_tail_ordering():
+    series = make_series([0.1] * 90 + [1.0] * 10)
+    tail = series.percentiles()
+    assert tail[50.0] < tail[95.0] <= tail[99.0]
+    assert tail[99.0] == pytest.approx(1.0)

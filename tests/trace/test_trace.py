@@ -1,0 +1,208 @@
+"""Tests for the trace writer, parser, and NAM output."""
+
+import io
+
+import pytest
+
+from repro.net.headers import IpHeader, TcpHeader, UdpHeader
+from repro.net.packet import Packet, PacketType
+from repro.trace.events import TraceRecord
+from repro.trace.parser import TraceParseError, parse_trace_file, parse_trace_line
+from repro.trace.writer import Tracer, format_trace_line
+
+
+def tcp_packet(seqno=5, is_ack=False):
+    return Packet(
+        ptype=PacketType.ACK if is_ack else PacketType.TCP,
+        size=1040,
+        ip=IpHeader(src=0, dst=1, sport=2, dport=3),
+        headers={"tcp": TcpHeader(seqno=seqno, ackno=seqno, is_ack=is_ack)},
+        timestamp=1.25,
+    )
+
+
+def test_record_rejects_unknown_event():
+    with pytest.raises(ValueError):
+        TraceRecord(event="x", time=0, node=0, layer="AGT", uid=1,
+                    ptype="tcp", size=100, src=0, dst=1)
+
+
+def test_tracer_records_tcp_seqno():
+    tracer = Tracer()
+    tracer.record("s", 1.0, 0, "AGT", tcp_packet(seqno=9))
+    assert tracer.records[0].seqno == 9
+
+
+def test_tracer_records_ackno_for_acks():
+    tracer = Tracer()
+    tracer.record("r", 1.0, 0, "AGT", tcp_packet(seqno=4, is_ack=True))
+    assert tracer.records[0].seqno == 4
+
+
+def test_tracer_records_udp_seqno():
+    tracer = Tracer()
+    pkt = Packet(
+        ptype=PacketType.CBR,
+        size=528,
+        ip=IpHeader(src=0, dst=1),
+        headers={"udp": UdpHeader(seqno=3)},
+    )
+    tracer.record("s", 2.0, 1, "RTR", pkt)
+    assert tracer.records[0].seqno == 3
+
+
+def test_tracer_filter_by_fields():
+    tracer = Tracer()
+    tracer.record("s", 1.0, 0, "AGT", tcp_packet())
+    tracer.record("r", 2.0, 1, "AGT", tcp_packet())
+    tracer.record("D", 3.0, 1, "IFQ", tcp_packet())
+    assert len(tracer.filter(event="r")) == 1
+    assert len(tracer.filter(node=1)) == 2
+    assert len(tracer.filter(event="D", layer="IFQ")) == 1
+    assert len(tracer.drops()) == 1
+
+
+def test_tracer_agent_receptions():
+    tracer = Tracer()
+    tracer.record("r", 1.0, 3, "AGT", tcp_packet())
+    tracer.record("r", 1.1, 3, "MAC", tcp_packet())
+    receptions = tracer.agent_receptions(3)
+    assert len(receptions) == 1
+    assert receptions[0].layer == "AGT"
+
+
+def test_format_and_parse_roundtrip():
+    tracer = Tracer()
+    tracer.record("s", 1.234567, 2, "RTR", tcp_packet(seqno=7))
+    line = format_trace_line(tracer.records[0])
+    parsed = parse_trace_line(line)
+    original = tracer.records[0]
+    assert parsed.event == original.event
+    assert parsed.time == pytest.approx(original.time)
+    assert parsed.node == original.node
+    assert parsed.layer == original.layer
+    assert parsed.uid == original.uid
+    assert parsed.ptype == original.ptype
+    assert parsed.size == original.size
+    assert parsed.seqno == original.seqno
+    assert parsed.timestamp == pytest.approx(original.timestamp)
+
+
+def test_parse_handles_missing_seqno():
+    pkt = Packet(ptype=PacketType.MAC, size=14, ip=IpHeader(src=0, dst=1))
+    tracer = Tracer()
+    tracer.record("s", 0.5, 0, "MAC", pkt)
+    line = format_trace_line(tracer.records[0])
+    assert parse_trace_line(line).seqno is None
+
+
+def test_parse_rejects_malformed_line():
+    with pytest.raises(TraceParseError):
+        parse_trace_line("this is not a trace line")
+
+
+def test_parse_trace_file_skips_blank_lines():
+    tracer = Tracer()
+    tracer.record("s", 1.0, 0, "AGT", tcp_packet())
+    tracer.record("r", 2.0, 1, "AGT", tcp_packet())
+    stream = io.StringIO()
+    tracer.write(stream)
+    stream.write("\n\n")
+    stream.seek(0)
+    assert len(parse_trace_file(stream)) == 2
+
+
+def test_tracer_streams_lines_as_they_happen():
+    stream = io.StringIO()
+    tracer = Tracer(stream=stream)
+    tracer.record("s", 1.0, 0, "AGT", tcp_packet())
+    assert stream.getvalue().startswith("s 1.000000000 _0_ AGT")
+
+
+def test_broadcast_addresses_roundtrip():
+    pkt = Packet(ptype=PacketType.CBR, size=100, ip=IpHeader(src=0, dst=-1))
+    tracer = Tracer()
+    tracer.record("s", 1.0, 0, "RTR", pkt)
+    parsed = parse_trace_line(format_trace_line(tracer.records[0]))
+    assert parsed.dst == -1
+
+
+# -- NAM ------------------------------------------------------------------------
+
+
+def test_nam_header_and_positions():
+    from repro.trace.nam import NamTraceWriter
+
+    stream = io.StringIO()
+    nam = NamTraceWriter(stream, width=500, height=500)
+    nam.write_header([0, 1, 2])
+    nam.write_position(1.0, 0, 10.0, 20.0)
+    text = stream.getvalue()
+    assert text.startswith("V -t *")
+    assert "W -t * -x 500 -y 500" in text
+    assert text.count("n -t *") == 3
+    assert "n -t 1.000000 -s 0 -x 10.00 -y 20.00" in text
+
+
+def test_nam_packet_hop():
+    from repro.trace.nam import NamTraceWriter
+
+    stream = io.StringIO()
+    nam = NamTraceWriter(stream)
+    nam.write_packet_hop(2.5, 0, 1, 1040, 17, "tcp")
+    text = stream.getvalue()
+    assert "+ -t 2.500000 -s 0 -d 1" in text
+    assert "h -t 2.500000" in text
+
+
+def test_nam_animate_validates_interval():
+    from repro.trace.nam import NamTraceWriter
+
+    with pytest.raises(ValueError):
+        NamTraceWriter(io.StringIO()).animate([], 10.0, interval=0)
+
+
+# -- property-based round trip --------------------------------------------------
+
+
+def test_trace_roundtrip_property():
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    @given(
+        st.sampled_from(["s", "r", "f", "D"]),
+        st.floats(min_value=0, max_value=1e5, allow_nan=False),
+        st.integers(min_value=0, max_value=999),
+        st.sampled_from(["AGT", "RTR", "MAC", "IFQ", "NRTE"]),
+        st.integers(min_value=0, max_value=10**9),
+        st.sampled_from(["tcp", "ack", "cbr", "aodv", "mac"]),
+        st.integers(min_value=1, max_value=65_535),
+        st.integers(min_value=-1, max_value=999),
+        st.integers(min_value=-1, max_value=999),
+        st.one_of(st.none(), st.integers(min_value=-1, max_value=10**6)),
+    )
+    @settings(max_examples=200, deadline=None)
+    def roundtrip(event, time, node, layer, uid, ptype, size, src, dst, seqno):
+        from repro.trace.events import TraceRecord
+        from repro.trace.parser import parse_trace_line
+        from repro.trace.writer import format_trace_line
+
+        rec = TraceRecord(
+            event=event, time=time, node=node, layer=layer, uid=uid,
+            ptype=ptype, size=size, src=src, dst=dst, seqno=seqno,
+            timestamp=time / 2,
+        )
+        parsed = parse_trace_line(format_trace_line(rec))
+        assert parsed.event == rec.event
+        assert abs(parsed.time - rec.time) < 1e-8
+        assert parsed.node == rec.node
+        assert parsed.layer == rec.layer
+        assert parsed.uid == rec.uid
+        assert parsed.ptype == rec.ptype
+        assert parsed.size == rec.size
+        assert parsed.src == rec.src
+        assert parsed.dst == rec.dst
+        assert parsed.seqno == rec.seqno
+        assert abs(parsed.timestamp - rec.timestamp) < 1e-8
+
+    roundtrip()

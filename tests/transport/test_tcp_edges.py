@@ -1,0 +1,155 @@
+"""TCP edge cases: RTO clamping, delayed ACKs, window boundaries."""
+
+import pytest
+
+from repro.des import Environment
+from repro.transport.apps import FtpApp
+from repro.transport.tcp import TcpAgent, TcpParams, TcpSink
+
+from tests.conftest import build_line_topology, start_all
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+def make_pair(env, nodes, params=None, delayed_ack=0.0):
+    tcp = TcpAgent(nodes[0], 1, params=params)
+    sink = TcpSink(nodes[1], 1, delayed_ack=delayed_ack)
+    tcp.connect(1, 1)
+    sink.connect(0, 1)
+    return tcp, sink
+
+
+def test_rto_backoff_clamped_at_max(env):
+    _, nodes = build_line_topology(env, 2)
+    start_all(nodes)
+    params = TcpParams(initial_rto=1.0, max_rto=4.0)
+    tcp, sink = make_pair(env, nodes, params=params)
+    nodes[1].mobility.x = 10_000.0  # black hole
+
+    def app(env):
+        yield env.timeout(0.1)
+        tcp.send_segments(1)
+
+    env.process(app(env))
+    env.run(until=60.0)
+    assert tcp.timeouts >= 4
+    assert tcp.rto == params.max_rto
+
+
+def test_rto_never_below_min(env):
+    _, nodes = build_line_topology(env, 2)
+    start_all(nodes)
+    params = TcpParams(min_rto=0.5)
+    tcp, sink = make_pair(env, nodes, params=params)
+    FtpApp(tcp).start(at=0.1)
+    env.run(until=3.0)
+    # RTTs here are milliseconds; the clamp must hold RTO at min_rto.
+    assert tcp.rto == params.min_rto
+
+
+def test_delayed_ack_sink_still_completes_transfer(env):
+    _, nodes = build_line_topology(env, 2)
+    start_all(nodes)
+    tcp, sink = make_pair(env, nodes, delayed_ack=0.05)
+
+    def app(env):
+        yield env.timeout(0.1)
+        tcp.send_segments(20)
+
+    env.process(app(env))
+    env.run(until=10.0)
+    assert sink.delivered_segments == 20
+    # Fewer ACKs than data packets: the point of delaying.
+    assert sink.acks_sent < sink.packets
+
+
+def test_delayed_ack_rejects_negative(env):
+    _, nodes = build_line_topology(env, 2)
+    with pytest.raises(ValueError):
+        TcpSink(nodes[1], 1, delayed_ack=-0.1)
+
+
+def test_out_of_order_arrival_is_buffered_not_lost(env):
+    """Deliver segment 2 before segment 1 at the sink directly: the sink
+    must hold it and release both in order."""
+    _, nodes = build_line_topology(env, 2)
+    tcp, sink = make_pair(env, nodes)
+    from repro.net.headers import IpHeader, TcpHeader
+    from repro.net.packet import Packet, PacketType
+
+    def seg(seqno):
+        return Packet(
+            ptype=PacketType.TCP, size=1040,
+            ip=IpHeader(src=0, dst=1, sport=1, dport=1),
+            headers={"tcp": TcpHeader(seqno=seqno, payload=1000)},
+            timestamp=0.0,
+        )
+
+    sink.receive(seg(0))
+    sink.receive(seg(2))  # hole at 1
+    assert sink.delivered_segments == 1
+    sink.receive(seg(1))  # hole filled: 1 and 2 release together
+    assert sink.delivered_segments == 3
+    assert [r.seqno for r in sink.records] == [0, 2, 1]
+
+
+def test_duplicate_segment_counted_not_recorded(env):
+    _, nodes = build_line_topology(env, 2)
+    tcp, sink = make_pair(env, nodes)
+    from repro.net.headers import IpHeader, TcpHeader
+    from repro.net.packet import Packet, PacketType
+
+    def seg(seqno):
+        return Packet(
+            ptype=PacketType.TCP, size=1040,
+            ip=IpHeader(src=0, dst=1, sport=1, dport=1),
+            headers={"tcp": TcpHeader(seqno=seqno, payload=1000)},
+            timestamp=0.0,
+        )
+
+    sink.receive(seg(0))
+    sink.receive(seg(0))
+    assert sink.duplicates == 1
+    assert len(sink.records) == 1
+    assert sink.bytes == 2 * 1040  # ns-2's bytes_ counts every arrival
+
+
+def test_window_never_exceeded_in_flight(env):
+    _, nodes = build_line_topology(env, 2)
+    start_all(nodes)
+    params = TcpParams(window=4)
+    tcp, sink = make_pair(env, nodes, params=params)
+    max_outstanding = [0]
+    original = tcp._output
+
+    def spy(seqno, retransmit=False):
+        original(seqno, retransmit=retransmit)
+        outstanding = tcp.t_seqno - (tcp.highest_ack + 1)
+        max_outstanding[0] = max(max_outstanding[0], outstanding)
+
+    tcp._output = spy
+    FtpApp(tcp).start(at=0.1)
+    env.run(until=2.0)
+    assert max_outstanding[0] <= 4
+
+
+def test_send_bytes_validation(env):
+    _, nodes = build_line_topology(env, 2)
+    tcp, sink = make_pair(env, nodes)
+    with pytest.raises(ValueError):
+        tcp.send_bytes(0)
+    with pytest.raises(ValueError):
+        tcp.send_segments(0)
+
+
+def test_send_bytes_after_send_forever_is_noop(env):
+    _, nodes = build_line_topology(env, 2)
+    start_all(nodes)
+    tcp, sink = make_pair(env, nodes)
+    tcp.send_forever()
+    tcp.send_bytes(5000)  # already unlimited: absorbed silently
+    env.run(until=1.0)
+    assert sink.delivered_segments > 10

@@ -1,0 +1,183 @@
+"""Tests for the Tahoe and NewReno sender variants."""
+
+import pytest
+
+from repro.des import Environment
+from repro.transport.apps import FtpApp
+from repro.transport.tcp import (
+    TCP_VARIANTS,
+    TcpAgent,
+    TcpNewReno,
+    TcpSink,
+    TcpTahoe,
+)
+
+from tests.conftest import build_line_topology, start_all
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+def make_pair(env, nodes, cls):
+    tcp = cls(nodes[0], 1)
+    sink = TcpSink(nodes[1], 1)
+    tcp.connect(nodes[1].address, 1)
+    sink.connect(nodes[0].address, 1)
+    return tcp, sink
+
+
+def install_single_loss(node, seqno):
+    """Swallow the first copy of the given data segment."""
+    dropped = []
+    original = node.send
+
+    def lossy(pkt):
+        header = pkt.headers.get("tcp")
+        if (header is not None and not header.is_ack
+                and header.seqno == seqno and not dropped):
+            dropped.append(pkt)
+            return
+        original(pkt)
+
+    node.send = lossy
+    return dropped
+
+
+def install_double_loss(node, seqnos):
+    """Swallow the first copy of each of the given segments."""
+    dropped = set()
+    original = node.send
+
+    def lossy(pkt):
+        header = pkt.headers.get("tcp")
+        if (header is not None and not header.is_ack
+                and header.seqno in seqnos and header.seqno not in dropped):
+            dropped.add(header.seqno)
+            return
+        original(pkt)
+
+    node.send = lossy
+    return dropped
+
+
+def test_registry_contains_all_variants():
+    assert TCP_VARIANTS == {
+        "reno": TcpAgent, "tahoe": TcpTahoe, "newreno": TcpNewReno
+    }
+
+
+@pytest.mark.parametrize("cls", [TcpAgent, TcpTahoe, TcpNewReno])
+def test_all_variants_complete_clean_transfer(env, cls):
+    _, nodes = build_line_topology(env, 2)
+    start_all(nodes)
+    tcp, sink = make_pair(env, nodes, cls)
+
+    def app(env):
+        yield env.timeout(0.1)
+        tcp.send_segments(30)
+
+    env.process(app(env))
+    env.run(until=5.0)
+    assert sink.delivered_segments == 30
+    assert tcp.retransmits == 0
+
+
+@pytest.mark.parametrize("cls", [TcpAgent, TcpTahoe, TcpNewReno])
+def test_all_variants_recover_from_single_loss(env, cls):
+    _, nodes = build_line_topology(env, 2)
+    start_all(nodes)
+    tcp, sink = make_pair(env, nodes, cls)
+    dropped = install_single_loss(nodes[0], seqno=5)
+    FtpApp(tcp).start(at=0.1)
+    env.run(until=3.0)
+    assert dropped
+    assert tcp.retransmits >= 1
+    assert sink.delivered_segments > 20
+    assert tcp.timeouts == 0  # all variants avoid the RTO via dupacks
+
+
+def test_tahoe_collapses_cwnd_to_one(env):
+    _, nodes = build_line_topology(env, 2)
+    start_all(nodes)
+    tcp, sink = make_pair(env, nodes, TcpTahoe)
+    cwnd_after_retransmit = []
+    original = tcp._output
+
+    def spy(seqno, retransmit=False):
+        original(seqno, retransmit=retransmit)
+        if retransmit:
+            cwnd_after_retransmit.append(tcp.cwnd)
+
+    tcp._output = spy
+    install_single_loss(nodes[0], seqno=5)
+    FtpApp(tcp).start(at=0.1)
+    env.run(until=3.0)
+    assert cwnd_after_retransmit
+    assert cwnd_after_retransmit[0] == pytest.approx(1.0)
+
+
+def test_reno_keeps_half_window_after_loss(env):
+    _, nodes = build_line_topology(env, 2)
+    start_all(nodes)
+    tcp, sink = make_pair(env, nodes, TcpAgent)
+    install_single_loss(nodes[0], seqno=5)
+    FtpApp(tcp).start(at=0.1)
+    env.run(until=3.0)
+    # After recovery Reno resumes from ssthresh (> Tahoe's 1).
+    assert tcp.ssthresh >= 2.0
+    assert tcp.cwnd >= tcp.ssthresh - 1
+
+
+def test_newreno_handles_two_losses_without_timeout(env):
+    _, nodes = build_line_topology(env, 2)
+    start_all(nodes)
+    tcp, sink = make_pair(env, nodes, TcpNewReno)
+    dropped = install_double_loss(nodes[0], seqnos={5, 7})
+    FtpApp(tcp).start(at=0.1)
+    env.run(until=4.0)
+    assert dropped == {5, 7}
+    assert sink.delivered_segments > 20
+    assert tcp.timeouts == 0  # the partial-ACK retransmit saves the RTO
+    assert tcp.retransmits >= 2
+
+
+def test_reno_may_need_more_time_for_double_loss_than_newreno(env):
+    """With two holes, NewReno repairs within one recovery; count the
+    segments each variant lands by a fixed deadline."""
+    results = {}
+    for cls in (TcpAgent, TcpNewReno):
+        env_local = Environment()
+        _, nodes = build_line_topology(env_local, 2)
+        start_all(nodes)
+        tcp = cls(nodes[0], 1)
+        sink = TcpSink(nodes[1], 1)
+        tcp.connect(1, 1)
+        sink.connect(0, 1)
+        install_double_loss(nodes[0], seqnos={5, 7})
+        FtpApp(tcp).start(at=0.1)
+        env_local.run(until=4.0)
+        results[cls.__name__] = sink.delivered_segments
+    assert results["TcpNewReno"] >= results["TcpAgent"]
+
+
+def test_trial_config_accepts_variant():
+    from repro.core.trials import TRIAL_3, TrialConfig
+
+    config = TRIAL_3.with_overrides(tcp_variant="newreno")
+    assert config.tcp_variant == "newreno"
+    with pytest.raises(ValueError):
+        TrialConfig(tcp_variant="cubic")
+
+
+def test_scenario_builds_variant_senders():
+    from repro.core.scenario import EblScenario
+    from repro.core.trials import TRIAL_3
+
+    scenario = EblScenario(
+        TRIAL_3.with_overrides(enable_trace=False, tcp_variant="tahoe")
+    )
+    assert all(
+        isinstance(flow.sender, TcpTahoe) for flow in scenario.app1.flows
+    )
