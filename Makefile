@@ -1,12 +1,22 @@
 # Convenience targets for the EBL reproduction.
 
-.PHONY: install test bench report figures nam sweep clean
+.PHONY: install test lint bench report figures nam sweep clean
 
 install:
 	pip install -e . --no-build-isolation
 
 test:
 	pytest tests/
+
+# Determinism/scheduling static analysis (simlint) always runs; ruff and
+# mypy run when installed (pip install -e .[lint]) and are skipped quietly
+# in minimal environments so `make lint` works everywhere.
+lint:
+	PYTHONPATH=src python -m repro.lint src
+	@if command -v ruff >/dev/null 2>&1; then ruff check src tests; \
+	else echo "ruff not installed; skipping (pip install -e .[lint])"; fi
+	@if command -v mypy >/dev/null 2>&1; then mypy; \
+	else echo "mypy not installed; skipping (pip install -e .[lint])"; fi
 
 bench:
 	pytest benchmarks/ --benchmark-only

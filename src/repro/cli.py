@@ -5,6 +5,7 @@ Subcommands::
     ebl-sim run --trial 1 [--duration 60] [--trace out.tr]
     ebl-sim report [--duration 40] [--output EXPERIMENTS.md]
     ebl-sim sweep {packet-size,platoon-size,tdma-slots}
+    ebl-sim lint [paths ...]
 """
 
 from __future__ import annotations
@@ -181,6 +182,12 @@ def _cmd_figures(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint.runner import run_lint
+
+    return run_lint(args.paths, list_rules=args.list_rules)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The ``ebl-sim`` argument parser."""
     parser = argparse.ArgumentParser(
@@ -230,6 +237,22 @@ def build_parser() -> argparse.ArgumentParser:
     nam_p.add_argument("--interval", type=float, default=0.5)
     nam_p.add_argument("--output", default="out.nam")
     nam_p.set_defaults(func=_cmd_nam)
+
+    lint_p = sub.add_parser(
+        "lint",
+        help="run simlint, the determinism/scheduling static analysis "
+        "(rules SIM001-SIM006)",
+    )
+    lint_p.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    lint_p.add_argument(
+        "--list-rules", action="store_true", help="print the rule table and exit"
+    )
+    lint_p.set_defaults(func=_cmd_lint)
     return parser
 
 

@@ -13,8 +13,8 @@ Two flavours:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Optional
+from dataclasses import dataclass
+from typing import Optional
 
 from repro.core.vehicle import Vehicle
 from repro.net.addresses import BROADCAST

@@ -16,11 +16,12 @@ Timeline, exactly as the paper describes:
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Optional
+from itertools import count
+from typing import Optional
 
 from repro.core.ebl import EblApplication
+from repro.core.seeding import derive_rng, error_rng, mac_rng
 from repro.core.trials import TrialConfig
 from repro.core.vehicle import Vehicle
 from repro.des.core import Environment
@@ -69,7 +70,10 @@ class EblScenario:
         self.env = Environment()
         self.tracer = Tracer() if config.enable_trace else None
         self.channel = WirelessChannel(self.env)
-        self._rng = random.Random(config.seed)
+        # Scenario-level stream; components below derive their own named
+        # streams so no two instances ever share a sequence (see
+        # repro.core.seeding for the convention).
+        self._rng = derive_rng(config.seed, "scenario")
 
         self._build_platoons()
         self._build_nodes()
@@ -127,7 +131,7 @@ class EblScenario:
                     phy,
                     ifq,
                     DcfParams(rts_threshold=config.rts_threshold),
-                    rng=random.Random(self.config.seed * 1000 + address),
+                    rng=mac_rng(config.seed, address),
                 )
 
         elif config.mac_type == "edca":
@@ -139,7 +143,7 @@ class EblScenario:
                     phy,
                     ifq,
                     params=EdcaParams(rts_threshold=config.rts_threshold),
-                    rng=random.Random(self.config.seed * 1000 + address),
+                    rng=mac_rng(config.seed, address),
                 )
 
         else:  # csma
@@ -150,7 +154,7 @@ class EblScenario:
                     address,
                     phy,
                     ifq,
-                    rng=random.Random(self.config.seed * 1000 + address),
+                    rng=mac_rng(config.seed, address),
                 )
 
         return factory
@@ -160,7 +164,19 @@ class EblScenario:
         if config.queue_type == "pri":
             return lambda env: PriQueue(env, limit=config.queue_limit)
         if config.queue_type == "red":
-            return lambda env: REDQueue(env, limit=config.queue_limit)
+            # Nodes are built in address order, so the construction counter
+            # gives each RED queue its own deterministic stream (the class
+            # default would hand every instance an identical Random(0)).
+            instance = count()
+
+            def red_factory(env):
+                return REDQueue(
+                    env,
+                    limit=config.queue_limit,
+                    rng=derive_rng(config.seed, "net.redqueue", next(instance)),
+                )
+
+            return red_factory
         return lambda env: DropTailQueue(env, limit=config.queue_limit)
 
     def _build_routing(self, node: Node) -> None:
@@ -203,7 +219,7 @@ class EblScenario:
 
     def _make_error_model(self, address: int):
         config = self.config
-        rng = random.Random(config.seed * 7919 + address)
+        rng = error_rng(config.seed, address)
         if config.error_bursts:
             # Pick a bad-state dwell giving the configured long-run rate:
             # with good_loss=0, bad_loss=1: rate = p_gb / (p_gb + p_bg).

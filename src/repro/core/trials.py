@@ -15,7 +15,7 @@ Trial    Packet size   MAC type
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Optional
 
 from repro.mobility.kinematics import mph_to_mps

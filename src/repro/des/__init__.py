@@ -32,7 +32,12 @@ from repro.des.events import (
     URGENT,
     NORMAL,
 )
-from repro.des.exceptions import Interrupt, SimulationError, StopSimulation
+from repro.des.exceptions import (
+    Interrupt,
+    SchedulingError,
+    SimulationError,
+    StopSimulation,
+)
 from repro.des.process import Process
 from repro.des.resources import Container, FilterStore, Resource, Store
 
@@ -48,6 +53,7 @@ __all__ = [
     "NORMAL",
     "Process",
     "Resource",
+    "SchedulingError",
     "SimulationError",
     "StopSimulation",
     "Store",

@@ -4,10 +4,11 @@ from __future__ import annotations
 
 from heapq import heappop, heappush
 from itertools import count
+from math import isfinite
 from typing import Any, Iterable, Optional, Union
 
 from repro.des.events import AllOf, AnyOf, Event, Timeout, NORMAL
-from repro.des.exceptions import SimulationError, StopSimulation
+from repro.des.exceptions import SchedulingError, SimulationError, StopSimulation
 from repro.des.process import Process, ProcessGenerator
 
 
@@ -21,10 +22,16 @@ class Environment:
     ----------
     initial_time:
         Simulated time at which the environment starts.
+    strict:
+        When True, :meth:`step` additionally verifies that simulated time
+        never moves backwards (an event firing in the past means the heap
+        was corrupted or bypassed) and raises :class:`SchedulingError`.
+        Delay validation in :meth:`schedule` is always on.
     """
 
-    def __init__(self, initial_time: float = 0.0) -> None:
+    def __init__(self, initial_time: float = 0.0, strict: bool = False) -> None:
         self._now = float(initial_time)
+        self._strict = bool(strict)
         self._queue: list[tuple[float, int, int, Event]] = []
         self._eid = count()
         self._active_proc: Optional[Process] = None
@@ -36,6 +43,11 @@ class Environment:
     def now(self) -> float:
         """Current simulated time."""
         return self._now
+
+    @property
+    def strict(self) -> bool:
+        """True when past-firing detection is enabled."""
+        return self._strict
 
     @property
     def active_process(self) -> Optional[Process]:
@@ -69,7 +81,30 @@ class Environment:
     def schedule(
         self, event: Event, priority: int = NORMAL, delay: float = 0.0
     ) -> None:
-        """Enqueue ``event`` to fire ``delay`` seconds from now."""
+        """Enqueue ``event`` to fire ``delay`` seconds from now.
+
+        ``delay`` must be finite and non-negative: a NaN key silently
+        corrupts the heap invariant (every subsequent pop order becomes
+        arbitrary), and a negative delay would fire the event in the
+        simulated past.  Both raise :class:`SchedulingError`.
+        """
+        delay = float(delay)
+        if not isfinite(delay):
+            raise SchedulingError(
+                f"cannot schedule {event!r} with non-finite delay {delay!r} "
+                f"at t={self._now}",
+                delay=delay,
+                now=self._now,
+                event=event,
+            )
+        if delay < 0:
+            raise SchedulingError(
+                f"cannot schedule {event!r} {-delay} s in the past "
+                f"(delay={delay!r} at t={self._now})",
+                delay=delay,
+                now=self._now,
+                event=event,
+            )
         heappush(self._queue, (self._now + delay, priority, next(self._eid), event))
 
     def peek(self) -> float:
@@ -79,9 +114,20 @@ class Environment:
     def step(self) -> None:
         """Process the single next event, advancing simulated time."""
         try:
-            self._now, _, _, event = heappop(self._queue)
+            at, _, _, event = heappop(self._queue)
         except IndexError:
             raise SimulationError("no scheduled events") from None
+
+        if self._strict and at < self._now:
+            raise SchedulingError(
+                f"event {event!r} fired at t={at}, {self._now - at} s in the "
+                f"past — the event heap was corrupted or bypassed "
+                f"(now={self._now})",
+                delay=at - self._now,
+                now=self._now,
+                event=event,
+            )
+        self._now = at
 
         callbacks, event.callbacks = event.callbacks, None
         for callback in callbacks:

@@ -108,11 +108,14 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that fires after a fixed simulated delay."""
+    """An event that fires after a fixed simulated delay.
+
+    ``delay`` must be finite and non-negative; invalid delays raise
+    :class:`~repro.des.exceptions.SchedulingError` (a ``ValueError``
+    subclass) from :meth:`Environment.schedule`.
+    """
 
     def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
-        if delay < 0:
-            raise ValueError(f"negative delay {delay}")
         super().__init__(env)
         self._delay = delay
         self._ok = True

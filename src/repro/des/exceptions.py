@@ -9,6 +9,38 @@ class SimulationError(Exception):
     """Base class for errors raised by the simulation kernel itself."""
 
 
+class SchedulingError(SimulationError, ValueError):
+    """An event was scheduled with an invalid time.
+
+    Raised by :meth:`Environment.schedule` for non-finite or negative
+    delays, and — in strict mode — when the event heap would fire an event
+    in the simulated past.  Subclasses :class:`ValueError` so callers that
+    historically caught ``ValueError`` for negative timeouts keep working.
+
+    Attributes
+    ----------
+    delay:
+        The offending delay (or event time, for past-firing detection).
+    now:
+        The simulated time at which the violation was detected.
+    event:
+        The event involved, when known.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        delay: float | None = None,
+        now: float | None = None,
+        event: Any = None,
+    ) -> None:
+        super().__init__(message)
+        self.delay = delay
+        self.now = now
+        self.event = event
+
+
 class StopSimulation(Exception):
     """Raised internally to halt :meth:`Environment.run` at an event.
 

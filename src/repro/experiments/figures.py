@@ -13,7 +13,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.core.runner import TrialResult, run_trial
-from repro.core.scenario import EblScenario, ScenarioGeometry
+from repro.core.scenario import EblScenario
 from repro.core.trials import TRIAL_1, TRIAL_2, TRIAL_3, TrialConfig
 from repro.stats.delay import DelaySeries
 from repro.stats.throughput import ThroughputSeries

@@ -9,7 +9,7 @@ same series a matplotlib user would plot from
 from __future__ import annotations
 
 import math
-from typing import Optional, Sequence
+from typing import Sequence
 
 from repro.experiments.figures import DelayFigure, ThroughputFigure
 

@@ -7,13 +7,10 @@ and renders the markdown record kept in EXPERIMENTS.md.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
 
 from repro.core.analysis import (
     TrialAnalysis,
     analyze_trial,
-    compare_mac_type,
-    compare_packet_size,
 )
 from repro.core.runner import TrialResult, run_trial
 from repro.core.trials import TRIAL_1, TRIAL_2, TRIAL_3

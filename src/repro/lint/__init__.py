@@ -1,0 +1,45 @@
+"""``simlint`` — determinism & scheduling static analysis for the simulator.
+
+A small AST-based linter with rules tailored to this codebase.  The paper's
+headline numbers (transient vs. steady-state delay, TDMA vs. 802.11 ordering,
+95% confidence intervals) are only reproducible when every run is
+bit-for-bit deterministic under a fixed seed, so the rules police the two
+disciplines the kernel relies on:
+
+* all randomness flows through an injected :class:`random.Random`
+  (never the module-level shared generator, never the wall clock), and
+* all event scheduling flows through :meth:`Environment.schedule`
+  (never direct heap manipulation, never NaN/negative delays).
+
+Rules
+-----
+========  =============================================================
+SIM001    module-level ``random.*`` call (use an injected ``Random``)
+SIM002    wall-clock access inside simulation code
+SIM003    constant negative/non-finite delay to ``timeout()``/``schedule()``
+SIM004    mutable default argument
+SIM005    iteration over a ``set`` / ``.keys()`` view in a hot path
+SIM006    direct mutation of ``Environment._queue`` (bypasses schedule())
+========  =============================================================
+
+Any finding can be suppressed on its line with ``# simlint: disable=SIMxxx``
+(comma-separate several codes, or omit ``=...`` to silence every rule on
+the line).  See ``docs/STATIC_ANALYSIS.md`` for the full rationale.
+"""
+
+from repro.lint.diagnostics import Diagnostic, parse_suppressions
+from repro.lint.rules import ALL_RULES, LintContext, Rule, lint_source
+from repro.lint.runner import iter_python_files, lint_file, lint_paths, run_lint
+
+__all__ = [
+    "ALL_RULES",
+    "Diagnostic",
+    "LintContext",
+    "Rule",
+    "iter_python_files",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "parse_suppressions",
+    "run_lint",
+]

@@ -1,0 +1,27 @@
+"""``python -m repro.lint [paths...]`` — standalone simlint entry point."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.lint.runner import run_lint
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="simlint",
+        description="determinism & scheduling static analysis (SIM001-SIM006)",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"], help="files or directories to lint"
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule table and exit"
+    )
+    args = parser.parse_args(argv)
+    return run_lint(args.paths, list_rules=args.list_rules)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,66 @@
+"""Diagnostics and inline-suppression handling for :mod:`repro.lint`."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Optional
+
+#: Matches ``# simlint: disable=SIM001,SIM002`` (codes optional: a bare
+#: ``# simlint: disable`` silences every rule on the line).
+_SUPPRESS_RE = re.compile(
+    r"#\s*simlint:\s*disable(?:\s*=\s*(?P<codes>[A-Z0-9,\s]+?))?\s*(?:#|$)"
+)
+
+#: Sentinel stored for a line whose suppression covers *all* codes.
+ALL_CODES = "*"
+
+
+@dataclass(frozen=True, order=True)
+class Diagnostic:
+    """One linter finding, anchored to a source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def format(self) -> str:
+        """Render as the conventional ``file:line:col: CODE message``."""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+def parse_suppressions(source: str) -> dict[int, frozenset[str]]:
+    """Map 1-based line numbers to the rule codes suppressed on them.
+
+    A line carrying ``# simlint: disable`` with no ``=CODES`` suppresses
+    everything; this is recorded as the :data:`ALL_CODES` sentinel.
+    """
+    suppressions: dict[int, frozenset[str]] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        if "simlint" not in text:
+            continue
+        match = _SUPPRESS_RE.search(text)
+        if match is None:
+            continue
+        codes = match.group("codes")
+        if codes is None:
+            suppressions[lineno] = frozenset({ALL_CODES})
+        else:
+            parsed = frozenset(
+                code.strip() for code in codes.split(",") if code.strip()
+            )
+            if parsed:
+                suppressions[lineno] = parsed
+    return suppressions
+
+
+def is_suppressed(
+    diagnostic: Diagnostic, suppressions: dict[int, frozenset[str]]
+) -> bool:
+    """True when ``diagnostic``'s line carries a matching disable comment."""
+    codes: Optional[frozenset[str]] = suppressions.get(diagnostic.line)
+    if codes is None:
+        return False
+    return ALL_CODES in codes or diagnostic.code in codes

@@ -1,0 +1,583 @@
+"""The SIMxxx rule implementations.
+
+Each rule is a small object with a ``code``, a one-line ``summary`` and a
+``check(ctx)`` generator yielding :class:`~repro.lint.diagnostics.Diagnostic`
+objects.  Rules are pure AST analyses — no imports of the linted code are
+performed, so linting is safe to run on broken or hostile trees.
+"""
+
+from __future__ import annotations
+
+import ast
+import math
+from dataclasses import dataclass, field
+from pathlib import PurePosixPath
+from typing import Iterator, Optional
+
+from repro.lint.diagnostics import Diagnostic, is_suppressed, parse_suppressions
+
+#: Directory names whose files count as scheduling/forwarding hot paths.
+HOT_PATH_DIRS = frozenset({"des", "mac", "net", "routing"})
+
+#: Wall-clock functions of the :mod:`time` module (SIM002).
+_WALL_CLOCK_TIME_FUNCS = frozenset(
+    {
+        "time",
+        "time_ns",
+        "monotonic",
+        "monotonic_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "process_time",
+        "process_time_ns",
+    }
+)
+
+#: Wall-clock constructors on ``datetime.datetime`` / ``datetime.date``.
+_WALL_CLOCK_DATETIME_FUNCS = frozenset({"now", "utcnow", "today"})
+
+#: ``random``-module attributes that are fine to touch: constructing an
+#: explicit generator instance is exactly the discipline we enforce.
+_RANDOM_ALLOWED_ATTRS = frozenset({"Random"})
+
+#: Call names that build a mutable container (SIM004 defaults).
+_MUTABLE_FACTORIES = frozenset(
+    {"list", "dict", "set", "bytearray", "defaultdict", "deque", "Counter",
+     "OrderedDict"}
+)
+
+#: Methods that mutate a pending-event heap (SIM006).
+_QUEUE_MUTATORS = frozenset(
+    {"append", "appendleft", "insert", "extend", "push", "add", "remove",
+     "pop", "clear", "sort"}
+)
+
+#: ``heapq`` functions that write to the heap passed as first argument.
+_HEAPQ_MUTATORS = frozenset(
+    {"heappush", "heappop", "heapify", "heapreplace", "heappushpop"}
+)
+
+
+@dataclass
+class LintContext:
+    """Everything a rule needs to analyse one file."""
+
+    path: str
+    source: str
+    tree: ast.Module
+    #: True when the file lives under a des/mac/net/routing directory.
+    hot_path: bool = field(init=False)
+    #: True for the kernel core itself, which legitimately owns ``_queue``.
+    kernel_core: bool = field(init=False)
+
+    def __post_init__(self) -> None:
+        parts = PurePosixPath(self.path.replace("\\", "/")).parts
+        self.hot_path = any(part in HOT_PATH_DIRS for part in parts[:-1])
+        self.kernel_core = len(parts) >= 2 and parts[-2:] == ("des", "core.py")
+
+
+class Rule:
+    """Base class: subclasses set ``code``/``summary`` and yield findings."""
+
+    code: str = "SIM000"
+    summary: str = ""
+
+    def check(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        raise NotImplementedError
+
+    def _diag(self, ctx: LintContext, node: ast.AST, message: str) -> Diagnostic:
+        return Diagnostic(
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            code=self.code,
+            message=message,
+        )
+
+
+# -- import-alias tracking (shared by SIM001/SIM002) ---------------------------
+
+
+def _collect_aliases(
+    tree: ast.Module, module: str, members: frozenset[str]
+) -> tuple[set[str], dict[str, str]]:
+    """Names bound to ``module`` itself, and local aliases of ``members``.
+
+    Returns ``(module_aliases, member_aliases)`` where ``member_aliases``
+    maps the local name to the original member name.
+    """
+    module_aliases: set[str] = set()
+    member_aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == module:
+                    module_aliases.add(alias.asname or module)
+        elif isinstance(node, ast.ImportFrom) and node.module == module:
+            for alias in node.names:
+                if alias.name in members:
+                    member_aliases[alias.asname or alias.name] = alias.name
+    return module_aliases, member_aliases
+
+
+# -- SIM001 --------------------------------------------------------------------
+
+
+class ModuleLevelRandomRule(Rule):
+    """SIM001: calls into the process-global ``random`` generator.
+
+    The shared module-level generator makes event streams depend on *every*
+    other consumer of randomness in the process — importing one new module
+    that draws a number silently changes every simulation result.  All
+    stochastic components must draw from an injected ``random.Random``.
+    """
+
+    code = "SIM001"
+    summary = "module-level random.* call; inject a random.Random instead"
+
+    _MEMBERS = frozenset(
+        {
+            "betavariate", "choice", "choices", "expovariate", "gammavariate",
+            "gauss", "getrandbits", "lognormvariate", "normalvariate",
+            "paretovariate", "randbytes", "randint", "random", "randrange",
+            "sample", "seed", "setstate", "getstate", "shuffle", "triangular",
+            "uniform", "vonmisesvariate", "weibullvariate",
+        }
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        module_aliases, member_aliases = _collect_aliases(
+            ctx.tree, "random", self._MEMBERS
+        )
+        if not module_aliases and not member_aliases:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id in module_aliases
+                and func.attr not in _RANDOM_ALLOWED_ATTRS
+            ):
+                yield self._diag(
+                    ctx,
+                    node,
+                    f"call to module-level random.{func.attr}(); draw from an "
+                    "injected random.Random so streams are per-instance and "
+                    "replayable",
+                )
+            elif isinstance(func, ast.Name) and func.id in member_aliases:
+                original = member_aliases[func.id]
+                yield self._diag(
+                    ctx,
+                    node,
+                    f"call to random.{original}() imported at module level; "
+                    "draw from an injected random.Random instead",
+                )
+
+
+# -- SIM002 --------------------------------------------------------------------
+
+
+class WallClockRule(Rule):
+    """SIM002: wall-clock reads inside simulation code.
+
+    Simulated time only advances through the event loop; mixing in
+    ``time.time()`` or ``datetime.now()`` produces values that differ on
+    every host and destroy replay determinism.
+    """
+
+    code = "SIM002"
+    summary = "wall-clock access in simulation code; use env.now"
+
+    def check(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        time_aliases, time_members = _collect_aliases(
+            ctx.tree, "time", _WALL_CLOCK_TIME_FUNCS
+        )
+        dt_aliases, dt_members = _collect_aliases(
+            ctx.tree, "datetime", frozenset({"datetime", "date"})
+        )
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id in time_aliases
+                and func.attr in _WALL_CLOCK_TIME_FUNCS
+            ):
+                yield self._diag(
+                    ctx,
+                    node,
+                    f"wall-clock call time.{func.attr}(); simulation code must "
+                    "derive time from Environment.now",
+                )
+            elif isinstance(func, ast.Name) and func.id in time_members:
+                yield self._diag(
+                    ctx,
+                    node,
+                    f"wall-clock call {time_members[func.id]}() imported from "
+                    "time; use Environment.now",
+                )
+            elif (
+                isinstance(func, ast.Attribute)
+                and func.attr in _WALL_CLOCK_DATETIME_FUNCS
+                and self._is_datetime_class(func.value, dt_aliases, dt_members)
+            ):
+                yield self._diag(
+                    ctx,
+                    node,
+                    f"wall-clock call datetime {func.attr}(); simulation code "
+                    "must derive time from Environment.now",
+                )
+
+    @staticmethod
+    def _is_datetime_class(
+        node: ast.expr, dt_aliases: set[str], dt_members: dict[str, str]
+    ) -> bool:
+        # ``datetime.datetime.now()`` / ``datetime.date.today()``
+        if (
+            isinstance(node, ast.Attribute)
+            and node.attr in ("datetime", "date")
+            and isinstance(node.value, ast.Name)
+            and node.value.id in dt_aliases
+        ):
+            return True
+        # ``from datetime import datetime; datetime.now()``
+        return isinstance(node, ast.Name) and node.id in dt_members
+
+
+# -- SIM003 --------------------------------------------------------------------
+
+
+def _constant_float(node: ast.expr) -> Optional[float]:
+    """Statically evaluate simple numeric expressions, else ``None``."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, (int, float)):
+        if isinstance(node.value, bool):
+            return None
+        return float(node.value)
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        inner = _constant_float(node.operand)
+        if inner is None:
+            return None
+        return -inner if isinstance(node.op, ast.USub) else inner
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "float"
+        and len(node.args) == 1
+        and isinstance(node.args[0], ast.Constant)
+        and isinstance(node.args[0].value, (str, int, float))
+    ):
+        try:
+            return float(node.args[0].value)
+        except ValueError:
+            return None
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "math"
+        and node.attr in ("nan", "inf")
+    ):
+        return math.nan if node.attr == "nan" else math.inf
+    return None
+
+
+class ConstantBadDelayRule(Rule):
+    """SIM003: a delay that can never be valid, written in the source.
+
+    ``heapq`` silently tolerates NaN keys and corrupts its ordering; a
+    negative delay schedules into the simulated past.  Both are always
+    bugs when they appear as literals.
+    """
+
+    code = "SIM003"
+    summary = "constant negative/NaN/inf delay passed to timeout()/schedule()"
+
+    def check(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = self._call_name(node.func)
+            if name == "timeout":
+                delay = self._argument(node, position=0, keyword="delay")
+            elif name == "schedule":
+                delay = self._argument(node, position=2, keyword="delay")
+            else:
+                continue
+            if delay is None:
+                continue
+            value = _constant_float(delay)
+            if value is None:
+                continue
+            if math.isnan(value) or math.isinf(value) or value < 0:
+                yield self._diag(
+                    ctx,
+                    delay,
+                    f"{name}() called with constant delay {value!r}; delays "
+                    "must be finite and >= 0 (the kernel now rejects these "
+                    "at runtime too)",
+                )
+
+    @staticmethod
+    def _call_name(func: ast.expr) -> Optional[str]:
+        if isinstance(func, ast.Attribute):
+            return func.attr
+        if isinstance(func, ast.Name):
+            return func.id
+        return None
+
+    @staticmethod
+    def _argument(
+        call: ast.Call, position: int, keyword: str
+    ) -> Optional[ast.expr]:
+        for kw in call.keywords:
+            if kw.arg == keyword:
+                return kw.value
+        if len(call.args) > position:
+            return call.args[position]
+        return None
+
+
+# -- SIM004 --------------------------------------------------------------------
+
+
+class MutableDefaultRule(Rule):
+    """SIM004: mutable default arguments.
+
+    A mutable default is shared by every call of the function — state leaks
+    across nodes and across *runs* inside one process, which is exactly the
+    cross-run coupling replication sweeps must never have.
+    """
+
+    code = "SIM004"
+    summary = "mutable default argument"
+
+    def check(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if self._is_mutable(default):
+                    yield self._diag(
+                        ctx,
+                        default,
+                        f"mutable default argument in {node.name}(); default "
+                        "to None and construct inside the function",
+                    )
+
+    @staticmethod
+    def _is_mutable(node: ast.expr) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                             ast.DictComp, ast.SetComp)):
+            return True
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in _MUTABLE_FACTORIES
+        )
+
+
+# -- SIM005 --------------------------------------------------------------------
+
+
+class SetIterationRule(Rule):
+    """SIM005: iterating a set (or ``.keys()`` view) in a hot path.
+
+    Set iteration order depends on insertion history and element hashes —
+    with ``PYTHONHASHSEED`` unset it can differ between processes, and even
+    with hashing pinned it changes whenever an unrelated element is added.
+    Event-adjacent loops (des/mac/net/routing) must iterate deterministic
+    sequences: a list, or ``sorted(...)`` of the set.
+    """
+
+    code = "SIM005"
+    summary = "iteration over a set/.keys() view in a hot path"
+
+    _SET_CALLS = frozenset({"set", "frozenset"})
+
+    def check(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        if not ctx.hot_path:
+            return
+        yield from self._check_scope(ctx, ctx.tree, set())
+
+    def _check_scope(
+        self, ctx: LintContext, scope: ast.AST, outer_sets: set[str]
+    ) -> Iterator[Diagnostic]:
+        set_names = set(outer_sets)
+        body = getattr(scope, "body", [])
+        for node in body:
+            yield from self._walk(ctx, node, set_names)
+
+    def _walk(
+        self, ctx: LintContext, node: ast.AST, set_names: set[str]
+    ) -> Iterator[Diagnostic]:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield from self._check_scope(ctx, node, set_names)
+            return
+        if isinstance(node, (ast.Assign, ast.AnnAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            value = node.value
+            if value is not None:
+                produces_set = self._is_set_expr(value)
+                for target in targets:
+                    if isinstance(target, ast.Name):
+                        if produces_set:
+                            set_names.add(target.id)
+                        else:
+                            set_names.discard(target.id)
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            yield from self._check_iter(ctx, node.iter, set_names)
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                             ast.GeneratorExp)):
+            for generator in node.generators:
+                yield from self._check_iter(ctx, generator.iter, set_names)
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_scope(ctx, child, set_names)
+            else:
+                yield from self._walk(ctx, child, set_names)
+
+    def _check_iter(
+        self, ctx: LintContext, iter_node: ast.expr, set_names: set[str]
+    ) -> Iterator[Diagnostic]:
+        if self._is_set_expr(iter_node):
+            yield self._diag(
+                ctx,
+                iter_node,
+                "iterating a set in a hot path; order is hash-dependent — "
+                "iterate a list or sorted(...) instead",
+            )
+        elif isinstance(iter_node, ast.Name) and iter_node.id in set_names:
+            yield self._diag(
+                ctx,
+                iter_node,
+                f"iterating set {iter_node.id!r} in a hot path; order is "
+                "hash-dependent — iterate a list or sorted(...) instead",
+            )
+        elif (
+            isinstance(iter_node, ast.Call)
+            and isinstance(iter_node.func, ast.Attribute)
+            and iter_node.func.attr == "keys"
+            and not iter_node.args
+        ):
+            yield self._diag(
+                ctx,
+                iter_node,
+                "iterating .keys() in a hot path; iterate the dict directly "
+                "(insertion-ordered) or sorted(...) for a canonical order",
+            )
+
+    def _is_set_expr(self, node: ast.expr) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in self._SET_CALLS
+        )
+
+
+# -- SIM006 --------------------------------------------------------------------
+
+
+class QueueBypassRule(Rule):
+    """SIM006: mutating ``Environment._queue`` without ``schedule()``.
+
+    ``schedule()`` is where delay validation, FIFO tie-breaking and (in
+    strict mode) past-scheduling detection live; pushing into the heap
+    directly silently skips all three.
+    """
+
+    code = "SIM006"
+    summary = "direct mutation of Environment._queue; use schedule()"
+
+    def check(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        if ctx.kernel_core:
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    node.targets if isinstance(node, ast.Assign) else [node.target]
+                )
+                for target in targets:
+                    if self._is_queue_attr(target) or (
+                        isinstance(target, ast.Subscript)
+                        and self._is_queue_attr(target.value)
+                    ):
+                        yield self._diag(
+                            ctx,
+                            target,
+                            "assignment into Environment._queue bypasses "
+                            "schedule(); events must go through schedule()",
+                        )
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in _QUEUE_MUTATORS
+                    and self._is_queue_attr(func.value)
+                ):
+                    yield self._diag(
+                        ctx,
+                        node,
+                        f"_queue.{func.attr}() bypasses schedule(); events "
+                        "must go through schedule()",
+                    )
+                elif self._is_heapq_mutation(func) and any(
+                    self._is_queue_attr(arg) for arg in node.args[:1]
+                ):
+                    yield self._diag(
+                        ctx,
+                        node,
+                        "heapq mutation of Environment._queue bypasses "
+                        "schedule(); events must go through schedule()",
+                    )
+
+    @staticmethod
+    def _is_queue_attr(node: ast.expr) -> bool:
+        return isinstance(node, ast.Attribute) and node.attr == "_queue"
+
+    @staticmethod
+    def _is_heapq_mutation(func: ast.expr) -> bool:
+        if isinstance(func, ast.Name):
+            return func.id in _HEAPQ_MUTATORS
+        return isinstance(func, ast.Attribute) and func.attr in _HEAPQ_MUTATORS
+
+
+#: The registry, in code order.
+ALL_RULES: tuple[Rule, ...] = (
+    ModuleLevelRandomRule(),
+    WallClockRule(),
+    ConstantBadDelayRule(),
+    MutableDefaultRule(),
+    SetIterationRule(),
+    QueueBypassRule(),
+)
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    rules: Optional[tuple[Rule, ...]] = None,
+) -> list[Diagnostic]:
+    """Lint one source string, honouring inline suppressions.
+
+    Raises :class:`SyntaxError` if ``source`` does not parse; callers that
+    lint files should catch it (see :func:`repro.lint.runner.lint_file`).
+    """
+    tree = ast.parse(source, filename=path)
+    ctx = LintContext(path=path, source=source, tree=tree)
+    suppressions = parse_suppressions(source)
+    findings: list[Diagnostic] = []
+    for rule in rules or ALL_RULES:
+        for diagnostic in rule.check(ctx):
+            if not is_suppressed(diagnostic, suppressions):
+                findings.append(diagnostic)
+    return sorted(findings)

@@ -1,0 +1,94 @@
+"""File discovery, orchestration and CLI entry for ``simlint``."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+from typing import Iterable, Iterator, Optional, TextIO
+
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.rules import ALL_RULES, Rule, lint_source
+
+#: Directories never descended into during discovery.
+_SKIP_DIRS = frozenset(
+    {"__pycache__", ".git", ".pytest_cache", ".mypy_cache", ".ruff_cache",
+     ".venv", "venv", "build", "dist"}
+)
+
+
+def iter_python_files(paths: Iterable[str]) -> Iterator[Path]:
+    """Yield every ``.py`` file under ``paths`` (files are yielded as-is)."""
+    for raw in paths:
+        path = Path(raw)
+        if path.is_file():
+            yield path
+        elif path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                if not any(part in _SKIP_DIRS for part in candidate.parts):
+                    yield candidate
+
+
+def lint_file(
+    path: Path, rules: Optional[tuple[Rule, ...]] = None
+) -> list[Diagnostic]:
+    """Lint one file; unreadable/unparsable files become SIM000 findings."""
+    display = path.as_posix()
+    try:
+        source = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as exc:
+        return [Diagnostic(display, 1, 1, "SIM000", f"cannot read file: {exc}")]
+    try:
+        return lint_source(source, path=display, rules=rules)
+    except SyntaxError as exc:
+        return [
+            Diagnostic(
+                display,
+                exc.lineno or 1,
+                (exc.offset or 0) + 1,
+                "SIM000",
+                f"syntax error: {exc.msg}",
+            )
+        ]
+
+
+def lint_paths(
+    paths: Iterable[str], rules: Optional[tuple[Rule, ...]] = None
+) -> list[Diagnostic]:
+    """Lint every Python file under ``paths``, sorted by location."""
+    findings: list[Diagnostic] = []
+    for path in iter_python_files(paths):
+        findings.extend(lint_file(path, rules=rules))
+    return sorted(findings)
+
+
+def run_lint(
+    paths: Iterable[str],
+    list_rules: bool = False,
+    stream: Optional[TextIO] = None,
+) -> int:
+    """CLI driver: print diagnostics, return a shell exit status."""
+    out = stream if stream is not None else sys.stdout
+    if list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.code}  {rule.summary}", file=out)
+        return 0
+    paths = list(paths)
+    missing = [p for p in paths if not Path(p).exists()]
+    if missing:
+        # A typo'd path must not read as "0 files clean" in CI.
+        for p in missing:
+            print(f"simlint: error: no such file or directory: {p}", file=out)
+        return 2
+    findings = lint_paths(paths)
+    for diagnostic in findings:
+        print(diagnostic.format(), file=out)
+    if findings:
+        print(
+            f"simlint: {len(findings)} finding(s) in "
+            f"{len({d.path for d in findings})} file(s)",
+            file=out,
+        )
+        return 1
+    checked = sum(1 for _ in iter_python_files(paths))
+    print(f"simlint: {checked} file(s) clean", file=out)
+    return 0

@@ -16,14 +16,9 @@ of the queue first.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING
-
+from dataclasses import dataclass
 from repro.mac.dcf import Dcf80211Mac, DcfParams
 from repro.net.packet import Packet, PacketType
-
-if TYPE_CHECKING:  # pragma: no cover
-    from repro.des.core import Environment
 
 #: Packet types treated as the high-priority (safety/control) category.
 SAFETY_PTYPES = frozenset(

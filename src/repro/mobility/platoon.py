@@ -9,9 +9,7 @@ paper's two three-vehicle platoons that move and stop as units.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Sequence
-
+from dataclasses import dataclass
 from repro.mobility.base import Position
 from repro.mobility.waypoint import WaypointMobility
 

@@ -16,14 +16,13 @@ broadcast, replies unicast, and entries never expire within a run.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING
 
 from repro.net.addresses import Address, BROADCAST
 from repro.net.headers import IpHeader, MacHeader
 from repro.net.packet import Packet, PacketType
 
 if TYPE_CHECKING:  # pragma: no cover
-    from repro.des.core import Environment
     from repro.net.node import Node
 
 #: ARP packet size on the wire (Ethernet-style), bytes.

@@ -10,8 +10,6 @@ overhead consistently.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
-
 from repro.net.addresses import Address, BROADCAST
 
 

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Callable, Optional
 
-from repro.net.addresses import Address, BROADCAST
+from repro.net.addresses import Address
 from repro.net.packet import Packet
 from repro.net.queues import DropTailQueue
 from repro.mac.base import Mac

@@ -13,7 +13,7 @@ import dataclasses
 import enum
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any
 
 from repro.net.addresses import Address, BROADCAST
 from repro.net.headers import IpHeader, MacHeader

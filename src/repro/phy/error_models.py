@@ -16,7 +16,6 @@ and capture logic the radio already applies.  Attach one to a
 
 from __future__ import annotations
 
-import math
 import random
 from typing import Optional
 

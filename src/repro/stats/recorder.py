@@ -14,7 +14,7 @@ converts the delta to Mbit/s, and appends a sample.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Sequence, Union
+from typing import TYPE_CHECKING, Callable, Sequence
 
 from repro.stats.throughput import ThroughputSample, ThroughputSeries
 

@@ -7,7 +7,7 @@ parse offline → compute delay statistics.
 from __future__ import annotations
 
 import re
-from typing import IO, Iterable, Iterator, Union
+from typing import IO, Iterable, Union
 
 from repro.trace.events import TraceRecord
 

@@ -7,7 +7,7 @@ either the in-memory records or a parsed file.
 
 from __future__ import annotations
 
-from typing import IO, Iterable, Optional
+from typing import IO, Optional
 
 from repro.net.packet import Packet
 from repro.trace.events import TraceRecord

@@ -2,13 +2,10 @@
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional, Union
+from typing import Optional, Union
 
 from repro.transport.tcp import TcpAgent
 from repro.transport.udp import UdpAgent
-
-if TYPE_CHECKING:  # pragma: no cover
-    from repro.des.core import Environment
 
 
 class FtpApp:

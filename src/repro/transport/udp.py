@@ -5,7 +5,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable, Optional
 
-from repro.net.addresses import Address
 from repro.net.headers import IpHeader, UdpHeader
 from repro.net.packet import Packet, PacketType
 from repro.transport.agents import Agent

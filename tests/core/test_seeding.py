@@ -1,0 +1,58 @@
+"""The seed-derivation convention and its use by EblScenario."""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.seeding import derive_rng, derive_seed, error_rng, mac_rng
+from repro.core.trials import TRIAL_3
+from repro.core.scenario import EblScenario
+
+
+def test_derive_seed_is_deterministic_and_stream_separated():
+    assert derive_seed(1, "mac", 0) == derive_seed(1, "mac", 0)
+    assert derive_seed(1, "mac", 0) != derive_seed(1, "mac", 1)
+    assert derive_seed(1, "mac", 0) != derive_seed(1, "phy.error", 0)
+    assert derive_seed(1, "mac", 0) != derive_seed(2, "mac", 0)
+
+
+def test_derive_seed_is_not_affine_collision_prone():
+    # seed*K+index arithmetic collides across (root, index) combinations,
+    # e.g. root=1,index=1000 vs root=2,index=0 under K=1000.  SHA keying
+    # must not.
+    assert derive_seed(1, "mac", 1000) != derive_seed(2, "mac", 0)
+
+
+def test_derive_rng_streams_are_independent():
+    a = derive_rng(9, "mac", 0)
+    b = derive_rng(9, "mac", 1)
+    assert [a.random() for _ in range(4)] != [b.random() for _ in range(4)]
+
+
+def test_derive_seed_stable_value():
+    # Pin the derivation so a refactor cannot silently re-key every stream.
+    assert derive_seed(0, "scenario") == 0x242AE2EA4C08BDC2
+
+
+def test_legacy_streams_frozen():
+    # These derivations are load-bearing for archived trial results.
+    assert mac_rng(3, 2).random() == random.Random(3002).random()
+    assert error_rng(1, 4).random() == random.Random(7923).random()
+
+
+def test_scenario_macs_get_distinct_rngs():
+    scenario = EblScenario(TRIAL_3.with_overrides(duration=1.0))
+    rngs = [v.node.mac._rng for v in scenario.vehicles]
+    # No two nodes share a generator object...
+    assert len({id(rng) for rng in rngs}) == len(rngs)
+    # ...nor an identical stream.
+    first_draws = [rng.random() for rng in rngs]
+    assert len(set(first_draws)) == len(first_draws)
+
+
+def test_scenario_construction_is_reproducible():
+    a = EblScenario(TRIAL_3.with_overrides(duration=1.0))
+    b = EblScenario(TRIAL_3.with_overrides(duration=1.0))
+    draws_a = [v.node.mac._rng.random() for v in a.vehicles]
+    draws_b = [v.node.mac._rng.random() for v in b.vehicles]
+    assert draws_a == draws_b

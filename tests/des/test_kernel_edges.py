@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.des import AllOf, AnyOf, Environment, SimulationError
+from repro.des import AllOf, AnyOf, Environment
 from repro.des.events import NORMAL, URGENT
 
 

@@ -4,7 +4,7 @@ import pytest
 
 from repro.des import Environment
 from repro.experiments.analytic import BianchiModel, TdmaModel
-from repro.mac.dcf import Dcf80211Mac, DcfParams
+from repro.mac.dcf import Dcf80211Mac
 from repro.mac.tdma import TdmaMac, TdmaParams
 from repro.net.channel import WirelessChannel
 from repro.net.headers import IpHeader, MacHeader

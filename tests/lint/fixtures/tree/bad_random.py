@@ -1,0 +1,13 @@
+"""Fixture: SIM001 (module-level random), SIM002 (wall clock)."""
+
+import random
+import time
+from datetime import datetime
+
+
+def jitter():
+    return random.uniform(0.0, 1.0)  # SIM001
+
+
+def stamp():
+    return time.time(), datetime.now()  # SIM002 (twice)

@@ -1,0 +1,13 @@
+"""Fixture: SIM005 (set iteration in a hot path), SIM006 (queue bypass)."""
+
+from heapq import heappush
+
+
+def broadcast(neighbours):
+    pending = set(neighbours)
+    for neighbour in pending:  # SIM005
+        yield neighbour
+
+
+def sneak(env, item):
+    heappush(env._queue, item)  # SIM006

@@ -1,0 +1,226 @@
+"""Per-rule coverage for simlint: positive, suppressed and clean cases."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lint import lint_source
+
+#: A path inside a hot-path directory (activates SIM005).
+HOT = "repro/mac/module.py"
+#: A path outside the hot-path directories.
+COLD = "repro/stats/module.py"
+
+
+def codes(source: str, path: str = COLD) -> list[str]:
+    return [d.code for d in lint_source(source, path)]
+
+
+# -- SIM001: module-level random ----------------------------------------------
+
+
+class TestSim001:
+    def test_module_call_flagged(self):
+        diags = lint_source("import random\nx = random.random()\n", COLD)
+        assert [(d.code, d.line) for d in diags] == [("SIM001", 2)]
+
+    def test_from_import_call_flagged(self):
+        assert codes("from random import choice\nc = choice([1])\n") == ["SIM001"]
+
+    def test_aliased_module_flagged(self):
+        assert codes("import random as rnd\nx = rnd.gauss(0, 1)\n") == ["SIM001"]
+
+    def test_seed_call_flagged(self):
+        assert codes("import random\nrandom.seed(42)\n") == ["SIM001"]
+
+    def test_suppressed(self):
+        src = "import random\nx = random.random()  # simlint: disable=SIM001\n"
+        assert codes(src) == []
+
+    def test_clean_instance_rng(self):
+        src = (
+            "import random\n"
+            "rng = random.Random(7)\n"
+            "x = rng.random()\n"
+        )
+        assert codes(src) == []
+
+
+# -- SIM002: wall clock -------------------------------------------------------
+
+
+class TestSim002:
+    def test_time_time_flagged(self):
+        assert codes("import time\nt = time.time()\n") == ["SIM002"]
+
+    def test_perf_counter_from_import_flagged(self):
+        src = "from time import perf_counter\nt = perf_counter()\n"
+        assert codes(src) == ["SIM002"]
+
+    def test_datetime_now_flagged(self):
+        src = "from datetime import datetime\nd = datetime.now()\n"
+        assert codes(src) == ["SIM002"]
+
+    def test_datetime_module_utcnow_flagged(self):
+        src = "import datetime\nd = datetime.datetime.utcnow()\n"
+        assert codes(src) == ["SIM002"]
+
+    def test_suppressed(self):
+        src = "import time\nt = time.time()  # simlint: disable=SIM002\n"
+        assert codes(src) == []
+
+    def test_clean_sleep_like_names_elsewhere(self):
+        # time.sleep is blocking, not a clock read; only clock reads flag.
+        assert codes("import time\ntime.sleep(1)\n") == []
+
+
+# -- SIM003: constant bad delays ----------------------------------------------
+
+
+class TestSim003:
+    @pytest.mark.parametrize(
+        "expr",
+        ["-1", "-0.25", "float('nan')", "float('inf')", "math.nan"],
+    )
+    def test_bad_timeout_constants(self, expr):
+        src = f"import math\ndef p(env):\n    yield env.timeout({expr})\n"
+        assert codes(src) == ["SIM003"]
+
+    def test_schedule_keyword_delay(self):
+        assert codes("env.schedule(ev, delay=-2.0)\n") == ["SIM003"]
+
+    def test_schedule_positional_delay(self):
+        assert codes("env.schedule(ev, 1, float('nan'))\n") == ["SIM003"]
+
+    def test_suppressed(self):
+        src = "env.timeout(-1)  # simlint: disable=SIM003\n"
+        assert codes(src) == []
+
+    def test_clean_variable_delay_not_flagged(self):
+        assert codes("def p(env, d):\n    yield env.timeout(d)\n") == []
+
+    def test_clean_zero_and_positive(self):
+        assert codes("env.timeout(0)\nenv.timeout(1.5)\n") == []
+
+
+# -- SIM004: mutable defaults -------------------------------------------------
+
+
+class TestSim004:
+    @pytest.mark.parametrize("default", ["[]", "{}", "set()", "dict()", "list()"])
+    def test_mutable_default_flagged(self, default):
+        assert codes(f"def f(x={default}):\n    return x\n") == ["SIM004"]
+
+    def test_kwonly_default_flagged(self):
+        assert codes("def f(*, x=[]):\n    return x\n") == ["SIM004"]
+
+    def test_suppressed(self):
+        src = "def f(x=[]):  # simlint: disable=SIM004\n    return x\n"
+        assert codes(src) == []
+
+    def test_clean_none_default(self):
+        assert codes("def f(x=None):\n    return x or []\n") == []
+
+
+# -- SIM005: set iteration in hot paths ---------------------------------------
+
+
+class TestSim005:
+    def test_direct_set_call_flagged_in_hot_path(self):
+        src = "def f(ns):\n    for n in set(ns):\n        pass\n"
+        assert codes(src, HOT) == ["SIM005"]
+
+    def test_tracked_set_variable_flagged(self):
+        src = "def f(ns):\n    s = set(ns)\n    for n in s:\n        pass\n"
+        diags = lint_source(src, HOT)
+        assert [(d.code, d.line) for d in diags] == [("SIM005", 3)]
+
+    def test_keys_view_flagged(self):
+        src = "def f(d):\n    for k in d.keys():\n        pass\n"
+        assert codes(src, HOT) == ["SIM005"]
+
+    def test_comprehension_over_set_flagged(self):
+        src = "def f(ns):\n    return [n for n in set(ns)]\n"
+        assert codes(src, HOT) == ["SIM005"]
+
+    def test_suppressed(self):
+        src = (
+            "def f(ns):\n"
+            "    for n in set(ns):  # simlint: disable=SIM005\n"
+            "        pass\n"
+        )
+        assert codes(src, HOT) == []
+
+    def test_sorted_wrapper_clean(self):
+        src = "def f(ns):\n    for n in sorted(set(ns)):\n        pass\n"
+        assert codes(src, HOT) == []
+
+    def test_cold_path_clean(self):
+        src = "def f(ns):\n    for n in set(ns):\n        pass\n"
+        assert codes(src, COLD) == []
+
+    def test_reassignment_to_list_clears_tracking(self):
+        src = (
+            "def f(ns):\n"
+            "    s = set(ns)\n"
+            "    s = sorted(s)\n"
+            "    for n in s:\n"
+            "        pass\n"
+        )
+        assert codes(src, HOT) == []
+
+
+# -- SIM006: bypassing schedule() ---------------------------------------------
+
+
+class TestSim006:
+    def test_heappush_flagged(self):
+        src = "from heapq import heappush\nheappush(env._queue, item)\n"
+        assert codes(src) == ["SIM006"]
+
+    def test_heapq_module_call_flagged(self):
+        src = "import heapq\nheapq.heappush(env._queue, item)\n"
+        assert codes(src) == ["SIM006"]
+
+    def test_append_flagged(self):
+        assert codes("env._queue.append(item)\n") == ["SIM006"]
+
+    def test_assignment_flagged(self):
+        assert codes("env._queue = []\n") == ["SIM006"]
+
+    def test_suppressed(self):
+        src = "env._queue.append(item)  # simlint: disable=SIM006\n"
+        assert codes(src) == []
+
+    def test_kernel_core_exempt(self):
+        src = "from heapq import heappush\nheappush(self._queue, entry)\n"
+        assert codes(src, "src/repro/des/core.py") == []
+
+    def test_len_read_clean(self):
+        assert codes("n = len(env._queue)\n") == []
+
+
+# -- suppression mechanics ----------------------------------------------------
+
+
+class TestSuppression:
+    def test_bare_disable_silences_all(self):
+        src = "import random\nx = random.random()  # simlint: disable\n"
+        assert codes(src) == []
+
+    def test_wrong_code_does_not_silence(self):
+        src = "import random\nx = random.random()  # simlint: disable=SIM002\n"
+        assert codes(src) == ["SIM001"]
+
+    def test_multiple_codes(self):
+        src = (
+            "import random, time\n"
+            "x = random.random() + time.time()"
+            "  # simlint: disable=SIM001,SIM002\n"
+        )
+        assert codes(src) == []
+
+    def test_diagnostic_format(self):
+        diag = lint_source("import random\nx = random.random()\n", COLD)[0]
+        assert diag.format().startswith(f"{COLD}:2:")
+        assert "SIM001" in diag.format()

@@ -1,0 +1,85 @@
+"""Runner, CLI and acceptance coverage for simlint."""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+
+from repro.cli import main as cli_main
+from repro.lint import lint_paths
+from repro.lint.runner import iter_python_files, lint_file, run_lint
+
+FIXTURE_TREE = Path(__file__).parent / "fixtures" / "tree"
+REPO_SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+def test_fixture_tree_violates_every_rule():
+    findings = lint_paths([str(FIXTURE_TREE)])
+    found_codes = {d.code for d in findings}
+    assert found_codes == {
+        "SIM001", "SIM002", "SIM003", "SIM004", "SIM005", "SIM006",
+    }
+    # Every diagnostic carries a real location.
+    for diag in findings:
+        assert diag.path.endswith(".py")
+        assert diag.line >= 1 and diag.col >= 1
+
+
+def test_run_lint_nonzero_with_file_line_output():
+    stream = io.StringIO()
+    status = run_lint([str(FIXTURE_TREE)], stream=stream)
+    assert status == 1
+    output = stream.getvalue()
+    assert "bad_random.py:9:" in output  # file:line diagnostics
+    assert "SIM001" in output and "SIM006" in output
+
+
+def test_repaired_tree_is_clean():
+    # The acceptance criterion: `ebl-sim lint src` exits 0 on this repo.
+    stream = io.StringIO()
+    assert run_lint([str(REPO_SRC)], stream=stream) == 0
+    assert "clean" in stream.getvalue()
+
+
+def test_cli_lint_subcommand_exit_codes(capsys):
+    assert cli_main(["lint", str(REPO_SRC / "repro" / "des")]) == 0
+    assert cli_main(["lint", str(FIXTURE_TREE)]) == 1
+    out = capsys.readouterr().out
+    assert "SIM003" in out
+
+
+def test_cli_list_rules(capsys):
+    assert cli_main(["lint", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for code in ("SIM001", "SIM002", "SIM003", "SIM004", "SIM005", "SIM006"):
+        assert code in out
+
+
+def test_missing_path_is_an_error_not_clean():
+    stream = io.StringIO()
+    assert run_lint(["/no/such/dir"], stream=stream) == 2
+    assert "no such file" in stream.getvalue()
+
+
+def test_iter_python_files_skips_pycache(tmp_path):
+    (tmp_path / "pkg" / "__pycache__").mkdir(parents=True)
+    (tmp_path / "pkg" / "mod.py").write_text("x = 1\n")
+    (tmp_path / "pkg" / "__pycache__" / "junk.py").write_text("x = 1\n")
+    files = list(iter_python_files([str(tmp_path)]))
+    assert [f.name for f in files] == ["mod.py"]
+
+
+def test_lint_file_reports_syntax_error(tmp_path):
+    bad = tmp_path / "broken.py"
+    bad.write_text("def f(:\n")
+    findings = lint_file(bad)
+    assert len(findings) == 1
+    assert findings[0].code == "SIM000"
+    assert "syntax error" in findings[0].message
+
+
+def test_single_file_argument(tmp_path):
+    target = tmp_path / "one.py"
+    target.write_text("import random\nx = random.random()\n")
+    findings = lint_paths([str(target)])
+    assert [d.code for d in findings] == ["SIM001"]

@@ -6,7 +6,7 @@ import pytest
 
 from repro.des import Environment
 from repro.mac.dcf import Dcf80211Mac
-from repro.mac.edca import EdcaMac, EdcaParams, SAFETY_PTYPES
+from repro.mac.edca import EdcaMac, EdcaParams
 from repro.net.channel import WirelessChannel
 from repro.net.headers import EblHeader, IpHeader, MacHeader
 from repro.net.packet import Packet, PacketType

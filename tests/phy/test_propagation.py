@@ -1,6 +1,5 @@
 """Unit and property tests for the propagation models."""
 
-import math
 
 import pytest
 from hypothesis import given, settings

@@ -6,7 +6,7 @@ from repro.des import Environment
 from repro.net.channel import WirelessChannel
 from repro.net.headers import IpHeader, MacHeader
 from repro.net.packet import Packet, PacketType
-from repro.phy.radio import RadioParams, WirelessPhy
+from repro.phy.radio import WirelessPhy
 
 
 class RecordingMac:

@@ -6,7 +6,6 @@ from repro.des import Environment
 from repro.net.headers import IpHeader
 from repro.net.packet import Packet, PacketType
 from repro.routing.flooding import Flooding
-from repro.routing.static_routing import StaticRouting
 from repro.transport.udp import UdpAgent, UdpSink
 
 from tests.conftest import build_line_topology, start_all

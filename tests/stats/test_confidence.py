@@ -7,11 +7,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.stats.confidence import (
-    ConfidenceResult,
-    mean_confidence_interval,
-    required_samples,
-)
+from repro.stats.confidence import mean_confidence_interval, required_samples
 
 
 def test_interval_on_known_data():
