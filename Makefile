@@ -1,6 +1,6 @@
 # Convenience targets for the EBL reproduction.
 
-.PHONY: install test lint bench report figures nam sweep clean
+.PHONY: install test lint bench report figures nam sweep campaign-smoke clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -35,6 +35,16 @@ nam:
 sweep:
 	ebl-sim sweep packet-size
 	ebl-sim sweep tdma-slots
+
+# Fast end-to-end exercise of the crash-tolerant campaign runner: two
+# short fault-injected trials plus a deliberately crashing and a
+# deliberately hanging one (both must surface as structured failures).
+campaign-smoke:
+	PYTHONPATH=src python -m repro.cli campaign --trial 3 --seeds 2 \
+		--duration 3 --timeout 10 --fault-plan light \
+		--inject-crash --inject-hang \
+		--checkpoint .campaign-smoke.jsonl
+	rm -f .campaign-smoke.jsonl
 
 clean:
 	rm -rf figures out.nam report.md .pytest_cache .benchmarks

@@ -5,6 +5,7 @@ Subcommands::
     ebl-sim run --trial 1 [--duration 60] [--trace out.tr]
     ebl-sim report [--duration 40] [--output EXPERIMENTS.md]
     ebl-sim sweep {packet-size,platoon-size,tdma-slots}
+    ebl-sim campaign --trial 1 --seeds 5 --fault-plan light [--resume]
     ebl-sim lint [paths ...]
 """
 
@@ -182,6 +183,53 @@ def _cmd_figures(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.experiments.campaign import campaign_trials, run_campaign
+    from repro.faults.schedule import FAULT_PLAN_PRESETS
+
+    base = TRIALS[args.trial].with_overrides(duration=args.duration)
+    trials = campaign_trials(
+        base,
+        seeds=range(1, args.seeds + 1),
+        fault_plan=FAULT_PLAN_PRESETS[args.fault_plan],
+        inject_crash=args.inject_crash,
+        inject_hang=args.inject_hang,
+    )
+
+    def progress(outcome) -> None:
+        note = " (resumed)" if outcome.resumed else f" in {outcome.elapsed:.1f}s"
+        print(f"  {outcome.key:24s} {outcome.status}{note}")
+        if outcome.status == "ok" and outcome.metrics:
+            delay = outcome.metrics.get("initial_packet_delay", float("nan"))
+            wdp = outcome.metrics.get("warning_delivery_probability")
+            faults = outcome.metrics.get("faults_injected", 0.0)
+            print(
+                f"  {'':24s} initial delay {delay:.4f}s, "
+                f"delivery p={wdp:.2f}, {faults:.0f} faults"
+            )
+
+    print(
+        f"Campaign: {len(trials)} trials of {base.name} "
+        f"(fault plan: {args.fault_plan}, watchdog {args.timeout:g}s)"
+    )
+    result = run_campaign(
+        trials,
+        timeout=args.timeout,
+        checkpoint=args.checkpoint,
+        resume=args.resume,
+        progress=progress,
+    )
+    failed = result.failed
+    print(
+        f"{len(result.succeeded)}/{len(result.outcomes)} trials ok, "
+        f"{len(failed)} failed"
+        + (f"; records in {args.checkpoint}" if args.checkpoint else "")
+    )
+    # A completed campaign exits 0 even with failed trials: the failures
+    # are structured data, not a harness malfunction.
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.lint.runner import run_lint
 
@@ -238,10 +286,35 @@ def build_parser() -> argparse.ArgumentParser:
     nam_p.add_argument("--output", default="out.nam")
     nam_p.set_defaults(func=_cmd_nam)
 
+    camp_p = sub.add_parser(
+        "campaign",
+        help="crash-tolerant multi-seed campaign with optional fault "
+        "injection, subprocess isolation, and checkpoint/resume",
+    )
+    camp_p.add_argument("--trial", type=int, choices=(1, 2, 3), default=1)
+    camp_p.add_argument("--duration", type=float, default=30.0)
+    camp_p.add_argument("--seeds", type=int, default=5,
+                        help="run seeds 1..N (default 5)")
+    camp_p.add_argument("--timeout", type=float, default=120.0,
+                        help="per-trial watchdog, wall-clock seconds")
+    camp_p.add_argument("--fault-plan", choices=("none", "light", "heavy"),
+                        default="none")
+    camp_p.add_argument("--checkpoint",
+                        help="JSONL file recording per-trial outcomes")
+    camp_p.add_argument("--resume", action="store_true",
+                        help="skip trials already in the checkpoint")
+    camp_p.add_argument("--inject-crash", action="store_true",
+                        help="add a synthetic crashing trial (failure-path "
+                        "exercise)")
+    camp_p.add_argument("--inject-hang", action="store_true",
+                        help="add a synthetic hung trial that must hit the "
+                        "watchdog")
+    camp_p.set_defaults(func=_cmd_campaign)
+
     lint_p = sub.add_parser(
         "lint",
         help="run simlint, the determinism/scheduling static analysis "
-        "(rules SIM001-SIM006)",
+        "(rules SIM001-SIM007)",
     )
     lint_p.add_argument(
         "paths",

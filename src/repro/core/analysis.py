@@ -7,10 +7,16 @@ Reproduces the two comparisons the paper draws — packet size (trials 1 v
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.core.runner import TrialResult
 from repro.core.safety import SafetyAssessment, assess_safety
 from repro.stats.confidence import ConfidenceResult
+from repro.stats.resilience import (
+    ResilienceReport,
+    WarningOutcome,
+    recovery_latencies,
+)
 from repro.stats.summary import SeriesSummary
 
 
@@ -66,6 +72,44 @@ def analyze_trial(result: TrialResult, platoon_id: int = 1) -> TrialAnalysis:
             separation=result.config.spacing,
         ),
     )
+
+
+def assess_resilience(
+    result: TrialResult,
+    deadline: Optional[float] = None,
+    platoon_id: int = 1,
+) -> ResilienceReport:
+    """Resilience metrics for one trial (meaningful with a fault log).
+
+    Each lead→follower flow contributes one :class:`WarningOutcome` for
+    its initial packet (``nan`` delay when the flow never delivered);
+    recovery latency pairs every fault injection in the trial's fault log
+    with the platoon's next delivered packet.  The default ``deadline``
+    is ``spacing / speed`` — the time for the follower to close the gap,
+    the scale the paper's §III.E safety argument is built on.
+    """
+    if deadline is None:
+        deadline = result.config.spacing / result.config.speed_mps
+    platoon = result.platoon(platoon_id)
+    outcomes = tuple(
+        WarningOutcome(
+            delay=(
+                flow.delays.initial_delay
+                if len(flow.delays)
+                else float("nan")
+            ),
+            deadline=deadline,
+        )
+        for flow in platoon.flows
+    )
+    delivery_times = [
+        sample.received_at for flow in platoon.flows for sample in flow.delays
+    ]
+    fault_times = [
+        entry.time for entry in result.fault_log if entry.action == "inject"
+    ]
+    recovery = tuple(recovery_latencies(fault_times, delivery_times))
+    return ResilienceReport(outcomes=outcomes, recovery=recovery)
 
 
 @dataclass

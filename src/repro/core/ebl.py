@@ -19,8 +19,8 @@ from typing import Optional
 from repro.core.vehicle import Vehicle
 from repro.net.addresses import BROADCAST
 from repro.net.headers import EblHeader
-from repro.net.packet import PacketType
-from repro.transport.apps import CbrApp
+from repro.net.packet import Packet, PacketType
+from repro.transport.apps import BackoffPolicy, CbrApp, RetryingSender
 from repro.transport.tcp import TCP_VARIANTS, TcpAgent, TcpParams, TcpSink
 from repro.transport.udp import UdpAgent
 
@@ -137,6 +137,16 @@ class EblWarningApp:
 
     On every brake application the vehicle broadcasts an initial warning
     immediately, then repeats at ``repeat_interval`` until release.
+
+    When ``retry_policy`` is given the *initial* warning — the packet the
+    paper's safety analysis hinges on — degrades gracefully under faults:
+    peers that hear it reply with a unicast acknowledgement, and the
+    sender retransmits it with bounded exponential backoff until
+    ``expected_acks`` distinct peers have confirmed, the brakes release,
+    or the policy's attempts run out.  Acking is symmetric: only apps
+    constructed with a policy send acks, so a fleet opts into the
+    reliability extension together and the paper's baseline traffic is
+    untouched when the policy is None.
     """
 
     def __init__(
@@ -145,37 +155,115 @@ class EblWarningApp:
         packet_size: int = 200,
         repeat_interval: float = 0.1,
         deceleration: float = 4.0,
+        retry_policy: Optional[BackoffPolicy] = None,
+        expected_acks: int = 1,
     ) -> None:
         if repeat_interval <= 0:
             raise ValueError("repeat_interval must be positive")
+        if expected_acks < 1:
+            raise ValueError("expected_acks must be >= 1")
         self.vehicle = vehicle
         self.env = vehicle.env
         self.packet_size = packet_size
         self.repeat_interval = repeat_interval
         self.deceleration = deceleration
+        self.retry_policy = retry_policy
+        self.expected_acks = expected_acks
         self.agent = UdpAgent(vehicle.node, EBL_WARNING_PORT)
         self.agent.connect(BROADCAST, EBL_WARNING_PORT)
+        self.agent.recv_callback = self._recv
         self.warnings_sent = 0
+        self.acks_sent = 0
+        #: One retry controller per braking episode, in episode order.
+        self.retries: list[RetryingSender] = []
         self._episode = 0
+        self._ackers: set[int] = set()
         vehicle.on_brake_change(self._brake_changed)
+
+    # -- reliability accounting -------------------------------------------
+
+    @property
+    def initial_retransmits(self) -> int:
+        """Extra copies of initial warnings sent beyond the first."""
+        return sum(max(0, retry.attempts - 1) for retry in self.retries)
+
+    @property
+    def initial_acknowledged(self) -> int:
+        """Episodes whose initial warning was confirmed by enough peers."""
+        return sum(1 for retry in self.retries if retry.acknowledged)
+
+    @property
+    def initial_exhausted(self) -> int:
+        """Episodes where the retry budget ran out unconfirmed."""
+        return sum(1 for retry in self.retries if retry.exhausted)
+
+    # -- beaconing ---------------------------------------------------------
 
     def _brake_changed(self, braking: bool) -> None:
         if braking:
             self._episode += 1
-            self.env.process(self._beacon(self._episode))
+            start_seq = 0
+            if self.retry_policy is not None:
+                self._start_initial_retry()
+                start_seq = 1  # seq 0 belongs to the retry controller
+            self.env.process(self._beacon(self._episode, start_seq))
+        elif self.retries and not self.retries[-1].done:
+            self.retries[-1].cancel()  # a moot warning is not worth airtime
 
-    def _beacon(self, episode: int):
-        seq = 0
+    def _beacon(self, episode: int, seq: int):
+        if seq > 0:
+            yield self.env.timeout(self.repeat_interval)
         while self.vehicle.braking and self._episode == episode:
-            header = EblHeader(
-                vehicle=self.vehicle.address,
-                warning_seq=seq,
-                initial=(seq == 0),
-                deceleration=self.deceleration,
-            )
-            self.agent.send(
-                self.packet_size, headers={"ebl": header}, ptype=PacketType.EBL
-            )
-            self.warnings_sent += 1
+            self._send_warning(seq)
             seq += 1
             yield self.env.timeout(self.repeat_interval)
+
+    def _send_warning(self, seq: int) -> None:
+        header = EblHeader(
+            vehicle=self.vehicle.address,
+            warning_seq=seq,
+            initial=(seq == 0),
+            deceleration=self.deceleration,
+        )
+        self.agent.send(
+            self.packet_size, headers={"ebl": header}, ptype=PacketType.EBL
+        )
+        self.warnings_sent += 1
+
+    # -- initial-warning retransmission ------------------------------------
+
+    def _start_initial_retry(self) -> None:
+        self._ackers = set()
+        retry = RetryingSender(
+            self.env,
+            lambda attempt: self._send_warning(0),
+            self.retry_policy,
+        )
+        self.retries.append(retry)
+        retry.start()
+
+    def _recv(self, pkt: Packet) -> None:
+        header = pkt.headers.get("ebl")
+        if header is None or self.retry_policy is None:
+            return
+        if header.ack:
+            if not self.retries or self.retries[-1].done:
+                return
+            self._ackers.add(header.vehicle)
+            if len(self._ackers) >= self.expected_acks:
+                self.retries[-1].acknowledge()
+        elif header.initial and header.vehicle != self.vehicle.address:
+            self.acks_sent += 1
+            self.agent.send(
+                EblHeader.WIRE_SIZE,
+                headers={
+                    "ebl": EblHeader(
+                        vehicle=self.vehicle.address,
+                        warning_seq=header.warning_seq,
+                        ack=True,
+                    )
+                },
+                ptype=PacketType.EBL,
+                dst=pkt.ip.src,
+                dport=pkt.ip.sport,
+            )

@@ -7,6 +7,8 @@ from typing import Optional
 
 from repro.core.scenario import EblScenario, ScenarioGeometry
 from repro.core.trials import TrialConfig
+from repro.faults.injector import FaultLogEntry
+from repro.faults.schedule import FaultSchedule
 from repro.stats.confidence import ConfidenceResult, mean_confidence_interval
 from repro.stats.delay import DelaySeries
 from repro.stats.summary import SeriesSummary
@@ -84,7 +86,10 @@ class TrialResult:
     platoon1: PlatoonResult
     platoon2: PlatoonResult
     tracer: Optional[Tracer]
-    scenario: EblScenario = field(repr=False, default=None)
+    scenario: Optional[EblScenario] = field(repr=False, default=None)
+    #: What the fault injector actually did, in time order (empty when the
+    #: trial ran on the paper's clean network).
+    fault_log: list[FaultLogEntry] = field(default_factory=list)
 
     def platoon(self, platoon_id: int) -> PlatoonResult:
         """Platoon result by id (1 or 2)."""
@@ -124,9 +129,12 @@ class TrialResult:
 def run_trial(
     config: TrialConfig,
     geometry: Optional[ScenarioGeometry] = None,
+    fault_schedule: Optional[FaultSchedule] = None,
 ) -> TrialResult:
     """Build, run, and harvest one trial."""
-    scenario = EblScenario(config, geometry=geometry)
+    scenario = EblScenario(
+        config, geometry=geometry, fault_schedule=fault_schedule
+    )
     scenario.run()
     return harvest(scenario)
 
@@ -172,10 +180,12 @@ def harvest(scenario: EblScenario) -> TrialResult:
         0.0,
         scenario.departure_time,
     )
+    injector = scenario.fault_injector
     return TrialResult(
         config=config,
         platoon1=platoon1,
         platoon2=platoon2,
         tracer=scenario.tracer,
         scenario=scenario,
+        fault_log=list(injector.log) if injector is not None else [],
     )

@@ -25,6 +25,8 @@ from repro.core.seeding import derive_rng, error_rng, mac_rng
 from repro.core.trials import TrialConfig
 from repro.core.vehicle import Vehicle
 from repro.des.core import Environment
+from repro.faults.injector import FaultInjector
+from repro.faults.schedule import FaultSchedule
 from repro.mac.csma import CsmaMac
 from repro.mac.dcf import Dcf80211Mac, DcfParams
 from repro.mac.edca import EdcaMac, EdcaParams
@@ -64,6 +66,7 @@ class EblScenario:
         self,
         config: TrialConfig,
         geometry: Optional[ScenarioGeometry] = None,
+        fault_schedule: Optional[FaultSchedule] = None,
     ) -> None:
         self.config = config
         self.geometry = geometry or ScenarioGeometry()
@@ -79,6 +82,7 @@ class EblScenario:
         self._build_nodes()
         self._build_applications()
         self._schedule_movements()
+        self._build_faults(fault_schedule)
 
     # -- construction ---------------------------------------------------------
 
@@ -262,6 +266,23 @@ class EblScenario:
             self.env, self.app2.sinks, config.throughput_interval
         )
 
+    def _build_faults(self, fault_schedule: Optional[FaultSchedule]) -> None:
+        """Attach the fault injector (explicit schedule wins over the plan)."""
+        config = self.config
+        if fault_schedule is None and config.fault_plan is not None:
+            fault_schedule = FaultSchedule.from_plan(
+                config.fault_plan,
+                config.seed,
+                config.duration,
+                [vehicle.address for vehicle in self.vehicles],
+            )
+        self.fault_schedule = fault_schedule
+        self.fault_injector = (
+            FaultInjector(self, fault_schedule)
+            if fault_schedule is not None
+            else None
+        )
+
     # -- timeline ------------------------------------------------------------------
 
     @property
@@ -304,11 +325,13 @@ class EblScenario:
     # -- execution --------------------------------------------------------------------
 
     def start(self) -> None:
-        """Start every node and both throughput recorders."""
+        """Start every node, both throughput recorders, and any faults."""
         for vehicle in self.vehicles:
             vehicle.node.start()
         self.recorder1.start()
         self.recorder2.start()
+        if self.fault_injector is not None:
+            self.fault_injector.start()
 
     def run(self) -> None:
         """Start and run to the configured duration."""

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Optional
 
+from repro.faults.schedule import FaultPlan
 from repro.mobility.kinematics import mph_to_mps
 
 #: Valid MAC selections.
@@ -89,6 +90,10 @@ class TrialConfig:
     #: the first packet per neighbour then pays a request/reply RTT,
     #: visibly inflating the initial-warning delay).
     use_arp: bool = False
+    #: Stochastic fault plan; None keeps the paper's failure-free network.
+    #: The concrete :class:`~repro.faults.schedule.FaultSchedule` derives
+    #: from this plan plus ``seed`` and ``duration``.
+    fault_plan: Optional[FaultPlan] = None
 
     def __post_init__(self) -> None:
         if self.packet_size <= 0:
@@ -117,6 +122,12 @@ class TrialConfig:
             raise ValueError("speed_mps must be positive")
         if self.duration <= 0:
             raise ValueError("duration must be positive")
+        if self.throughput_interval <= 0:
+            raise ValueError("throughput_interval must be positive")
+        if self.queue_limit <= 0:
+            raise ValueError("queue_limit must be positive")
+        if self.tcp_window <= 0:
+            raise ValueError("tcp_window must be positive")
         if not 0 <= self.error_rate < 1:
             raise ValueError("error_rate must be in [0, 1)")
 

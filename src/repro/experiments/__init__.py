@@ -21,6 +21,13 @@ from repro.experiments.plots import (
     render_delay_figure,
     render_throughput_figure,
 )
+from repro.experiments.campaign import (
+    CampaignResult,
+    CampaignTrial,
+    TrialOutcome,
+    campaign_trials,
+    run_campaign,
+)
 from repro.experiments.replication import ReplicationResult, replicate
 from repro.experiments.report import ExperimentReport, generate_report
 from repro.experiments.sweeps import (
@@ -36,9 +43,14 @@ from repro.experiments.tables import (
 
 __all__ = [
     "BianchiModel",
+    "CampaignResult",
+    "CampaignTrial",
     "ExperimentReport",
     "ReplicationResult",
     "TdmaModel",
+    "TrialOutcome",
+    "campaign_trials",
+    "run_campaign",
     "ascii_plot",
     "render_delay_figure",
     "render_throughput_figure",

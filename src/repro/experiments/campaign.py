@@ -1,0 +1,334 @@
+"""Crash-tolerant campaign execution.
+
+:func:`run_campaign` runs a batch of trials the way a long unattended
+sweep has to be run: every trial in its own subprocess (a segfault or a
+runaway loop cannot take the campaign down), a watchdog timeout per
+trial, structured :class:`TrialOutcome` records instead of raised
+exceptions, and a JSONL checkpoint so an interrupted campaign resumes
+where it stopped instead of recomputing finished trials.
+
+For exercising the failure paths themselves (tests, the CI smoke
+campaign), a :class:`CampaignTrial` can carry a synthetic ``kind``:
+``inject-crash`` makes the worker raise and ``inject-hang`` makes it
+sleep past any watchdog — producing real ``error`` and ``timeout``
+records through the real machinery.
+
+This module is host-side orchestration, not simulation: it deliberately
+reads the wall clock (per-trial wall time is one of its outputs) and the
+SIM002 suppressions below mark exactly those reads.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import queue as queue_module
+import time
+import traceback
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Optional, Sequence, Union
+
+from repro.core.analysis import assess_resilience
+from repro.core.runner import TrialResult, run_trial
+from repro.core.trials import TrialConfig
+from repro.faults.schedule import FaultPlan
+
+#: Synthetic trial kinds used to exercise the campaign's failure paths.
+TRIAL_KINDS = ("trial", "inject-crash", "inject-hang")
+
+#: Trial statuses a campaign can record.
+STATUSES = ("ok", "error", "timeout")
+
+
+@dataclass(frozen=True)
+class CampaignTrial:
+    """One unit of campaign work, addressed by a unique ``key``."""
+
+    key: str
+    config: Optional[TrialConfig] = None
+    kind: str = "trial"
+
+    def __post_init__(self) -> None:
+        if not self.key:
+            raise ValueError("trial key must be non-empty")
+        if self.kind not in TRIAL_KINDS:
+            raise ValueError(
+                f"unknown trial kind {self.kind!r}; expected one of {TRIAL_KINDS}"
+            )
+        if self.kind == "trial" and self.config is None:
+            raise ValueError("a real trial needs a config")
+
+
+@dataclass
+class TrialOutcome:
+    """What one campaign trial produced — success or structured failure."""
+
+    key: str
+    status: str
+    metrics: dict = field(default_factory=dict)
+    error: str = ""
+    #: Wall-clock seconds the trial's subprocess ran.
+    elapsed: float = 0.0
+    #: True when this outcome was loaded from a checkpoint, not re-run.
+    resumed: bool = False
+
+    def to_json(self) -> str:
+        """One checkpoint line."""
+        return json.dumps(
+            {
+                "key": self.key,
+                "status": self.status,
+                "metrics": self.metrics,
+                "error": self.error,
+                "elapsed": self.elapsed,
+            }
+        )
+
+    @classmethod
+    def from_json(cls, line: str) -> "TrialOutcome":
+        data = json.loads(line)
+        outcome = cls(
+            key=data["key"],
+            status=data["status"],
+            metrics=dict(data.get("metrics", {})),
+            error=data.get("error", ""),
+            elapsed=float(data.get("elapsed", 0.0)),
+        )
+        if outcome.status not in STATUSES:
+            raise ValueError(f"unknown status {outcome.status!r}")
+        return outcome
+
+
+@dataclass
+class CampaignResult:
+    """All outcomes of one campaign run, in trial order."""
+
+    outcomes: list[TrialOutcome]
+
+    def by_status(self, status: str) -> list[TrialOutcome]:
+        """Outcomes with the given status."""
+        return [o for o in self.outcomes if o.status == status]
+
+    @property
+    def succeeded(self) -> list[TrialOutcome]:
+        return self.by_status("ok")
+
+    @property
+    def failed(self) -> list[TrialOutcome]:
+        """Error and timeout records together."""
+        return [o for o in self.outcomes if o.status != "ok"]
+
+    def outcome(self, key: str) -> TrialOutcome:
+        """Outcome for one trial key."""
+        for outcome in self.outcomes:
+            if outcome.key == key:
+                return outcome
+        raise KeyError(f"no outcome for trial {key!r}")
+
+
+def _trial_metrics(result: TrialResult) -> dict:
+    """The per-trial numbers a campaign checkpoint carries."""
+    platoon1 = result.platoon1
+    report = assess_resilience(result)
+    initial = min(
+        (
+            flow.delays.initial_delay
+            for flow in platoon1.flows
+            if len(flow.delays)
+        ),
+        default=float("nan"),
+    )
+    delivered = sum(
+        flow.delivered_segments
+        for platoon in (result.platoon1, result.platoon2)
+        for flow in platoon.flows
+    )
+    metrics = {
+        "initial_packet_delay": initial,
+        "delivered_segments": float(delivered),
+        "warning_delivery_probability": report.delivery_probability,
+        "faults_injected": float(
+            sum(1 for entry in result.fault_log if entry.action == "inject")
+        ),
+    }
+    if platoon1.throughput.samples:
+        metrics["throughput_avg_mbps"] = platoon1.throughput.summary().average
+    recovery = report.recovery_summary()
+    if recovery is not None:
+        metrics["recovery_latency_avg"] = recovery.average
+    return metrics
+
+
+def _worker(trial: CampaignTrial, results: multiprocessing.Queue) -> None:
+    """Subprocess entry point: run one trial, report through the queue."""
+    try:
+        if trial.kind == "inject-crash":
+            raise RuntimeError(f"injected crash in trial {trial.key!r}")
+        if trial.kind == "inject-hang":
+            while True:  # exceed any watchdog; the parent will kill us
+                time.sleep(3600)
+        result = run_trial(trial.config)
+        results.put({"status": "ok", "metrics": _trial_metrics(result)})
+    except BaseException:
+        # The traceback travels up as data; re-raising would only spray it
+        # on stderr a second time.
+        results.put({"status": "error", "error": traceback.format_exc()})
+
+
+def _load_checkpoint(path: Path) -> dict[str, TrialOutcome]:
+    """Completed outcomes by key; corrupt lines (a crash mid-write) skipped."""
+    completed: dict[str, TrialOutcome] = {}
+    if not path.exists():
+        return completed
+    for line in path.read_text().splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            outcome = TrialOutcome.from_json(line)
+        except (ValueError, KeyError):
+            continue  # torn/corrupt line: recompute that trial
+        completed[outcome.key] = outcome
+    return completed
+
+
+def _terminate(process: multiprocessing.Process) -> None:
+    process.terminate()
+    process.join(timeout=5.0)
+    if process.is_alive():  # pragma: no cover - stubborn process
+        process.kill()
+        process.join()
+
+
+def run_campaign(
+    trials: Sequence[CampaignTrial],
+    timeout: float = 120.0,
+    checkpoint: Optional[Union[str, Path]] = None,
+    resume: bool = False,
+    progress: Optional[Callable[[TrialOutcome], None]] = None,
+) -> CampaignResult:
+    """Run every trial in an isolated subprocess; never raise per-trial.
+
+    Parameters
+    ----------
+    trials:
+        The work list; keys must be unique (they index the checkpoint).
+    timeout:
+        Watchdog per trial, wall-clock seconds.  A trial still running at
+        the deadline is killed and recorded as ``timeout``.
+    checkpoint:
+        JSONL file appended after every finished trial.  With ``resume``
+        True, trials whose keys already appear in it are not re-run; their
+        records are returned with ``resumed=True``.
+    progress:
+        Optional callback invoked with each :class:`TrialOutcome` as it
+        is produced (including resumed ones).
+    """
+    if timeout <= 0:
+        raise ValueError("timeout must be positive")
+    keys = [trial.key for trial in trials]
+    if len(set(keys)) != len(keys):
+        raise ValueError("trial keys must be unique")
+    checkpoint_path = Path(checkpoint) if checkpoint is not None else None
+    completed: dict[str, TrialOutcome] = {}
+    if resume:
+        if checkpoint_path is None:
+            raise ValueError("resume requires a checkpoint path")
+        completed = _load_checkpoint(checkpoint_path)
+
+    # Fork inherits the loaded modules (fast); spawn is the portable
+    # fallback — everything shipped to the worker is picklable either way.
+    methods = multiprocessing.get_all_start_methods()
+    context = multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn"
+    )
+
+    outcomes: list[TrialOutcome] = []
+    for trial in trials:
+        previous = completed.get(trial.key)
+        if previous is not None:
+            previous.resumed = True
+            outcomes.append(previous)
+            if progress is not None:
+                progress(previous)
+            continue
+        results: multiprocessing.Queue = context.Queue()
+        process = context.Process(
+            target=_worker, args=(trial, results), daemon=True
+        )
+        started = time.monotonic()  # simlint: disable=SIM002
+        process.start()
+        process.join(timeout)
+        elapsed = time.monotonic() - started  # simlint: disable=SIM002
+        if process.is_alive():
+            _terminate(process)
+            outcome = TrialOutcome(
+                key=trial.key,
+                status="timeout",
+                error=f"trial exceeded its {timeout:g}s watchdog",
+                elapsed=elapsed,
+            )
+        else:
+            try:
+                payload = results.get(timeout=1.0)
+            except queue_module.Empty:
+                payload = None
+            if payload is None:
+                outcome = TrialOutcome(
+                    key=trial.key,
+                    status="error",
+                    error=(
+                        "worker died without a result "
+                        f"(exit code {process.exitcode})"
+                    ),
+                    elapsed=elapsed,
+                )
+            elif payload["status"] == "ok":
+                outcome = TrialOutcome(
+                    key=trial.key,
+                    status="ok",
+                    metrics=payload["metrics"],
+                    elapsed=elapsed,
+                )
+            else:
+                outcome = TrialOutcome(
+                    key=trial.key,
+                    status="error",
+                    error=payload["error"],
+                    elapsed=elapsed,
+                )
+        outcomes.append(outcome)
+        if checkpoint_path is not None:
+            with checkpoint_path.open("a") as handle:
+                handle.write(outcome.to_json() + "\n")
+        if progress is not None:
+            progress(outcome)
+    return CampaignResult(outcomes=outcomes)
+
+
+def campaign_trials(
+    base: TrialConfig,
+    seeds: Sequence[int],
+    fault_plan: Optional[FaultPlan] = None,
+    inject_crash: bool = False,
+    inject_hang: bool = False,
+) -> list[CampaignTrial]:
+    """One trial per seed over ``base``, plus optional synthetic failures."""
+    trials = [
+        CampaignTrial(
+            key=f"{base.name}-seed{seed}",
+            config=base.with_overrides(
+                name=f"{base.name}-seed{seed}",
+                seed=seed,
+                enable_trace=False,
+                fault_plan=fault_plan,
+            ),
+        )
+        for seed in seeds
+    ]
+    if inject_crash:
+        trials.append(CampaignTrial(key="inject-crash", kind="inject-crash"))
+    if inject_hang:
+        trials.append(CampaignTrial(key="inject-hang", kind="inject-hang"))
+    return trials

@@ -1,0 +1,24 @@
+"""Deterministic fault injection for EBL scenarios.
+
+See :mod:`repro.faults.schedule` for the fault model and
+:mod:`repro.faults.injector` for how faults act on a running scenario.
+"""
+
+from repro.faults.injector import FaultInjector, FaultLogEntry
+from repro.faults.schedule import (
+    FAULT_KINDS,
+    FAULT_PLAN_PRESETS,
+    FaultEvent,
+    FaultPlan,
+    FaultSchedule,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "FAULT_PLAN_PRESETS",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultLogEntry",
+    "FaultPlan",
+    "FaultSchedule",
+]

@@ -1,0 +1,143 @@
+"""Applies a :class:`~repro.faults.schedule.FaultSchedule` to a scenario.
+
+The injector turns each scheduled fault into a simulation process that
+waits for the onset, applies the impairment through the stack's fault
+hooks, waits out the duration, and reverts it:
+
+* ``node-crash`` — :meth:`WirelessPhy.fail` silences the radio, the
+  interface queue is flushed (volatile state dies with the node) and the
+  routing protocol's :meth:`handle_crash` wipes its tables; on recovery
+  the radio comes back and :meth:`handle_recovery` lets the protocol
+  re-enter the network cleanly (AODV bumps its sequence number and
+  re-discovers routes — the churn path RFC 3561 calls rebooting).
+* ``link-outage`` — :meth:`WirelessChannel.block_link` makes one node
+  pair mutually inaudible; unicast traffic over the pair exhausts MAC
+  retries, triggering AODV route-break handling and re-discovery.
+* ``power-droop`` — scales the target's transmit power via
+  ``WirelessPhy.power_scale``, shrinking its range.
+* ``channel-degradation`` — a channel-wide random frame-loss window,
+  drawn from the dedicated ``faults.channel-loss`` stream so the loss
+  pattern is reproducible and independent of every other stream.
+
+Every application/recovery is appended to :attr:`FaultInjector.log`, the
+ground truth the resilience metrics (recovery latency, delivery under
+fault) are computed against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterator
+
+from repro.faults.schedule import FaultEvent, FaultSchedule
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.scenario import EblScenario
+
+
+@dataclass(frozen=True)
+class FaultLogEntry:
+    """One injection or recovery, as it actually happened."""
+
+    time: float
+    kind: str
+    #: ``"inject"`` or ``"recover"``.
+    action: str
+    target: tuple[int, ...]
+    severity: float
+
+    def __str__(self) -> str:
+        where = ",".join(str(t) for t in self.target) or "channel"
+        return f"t={self.time:.3f} {self.action} {self.kind} @ {where}"
+
+
+class FaultInjector:
+    """Drives a schedule's events against one built :class:`EblScenario`."""
+
+    def __init__(self, scenario: "EblScenario", schedule: FaultSchedule) -> None:
+        self.scenario = scenario
+        self.schedule = schedule
+        self.env = scenario.env
+        self.log: list[FaultLogEntry] = []
+        # Imported lazily: repro.core's package __init__ imports the
+        # scenario stack, which imports this module back.
+        from repro.core.seeding import derive_rng
+
+        #: Channel-degradation loss stream (independent of mac/error RNGs).
+        self._loss_rng = derive_rng(scenario.config.seed, "faults.channel-loss")
+        #: Currently-open degradation windows (they may overlap).
+        self._degradations_active = 0
+        self._started = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        """Spawn one process per scheduled fault (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        for event in self.schedule:
+            self.env.process(self._run_event(event))
+
+    def _run_event(self, event: FaultEvent) -> Iterator[object]:
+        if event.start > self.env.now:
+            yield self.env.timeout(event.start - self.env.now)
+        self._apply(event)
+        self._record(event, "inject")
+        yield self.env.timeout(event.duration)
+        self._revert(event)
+        self._record(event, "recover")
+
+    def _record(self, event: FaultEvent, action: str) -> None:
+        self.log.append(
+            FaultLogEntry(
+                time=self.env.now,
+                kind=event.kind,
+                action=action,
+                target=event.target,
+                severity=event.severity,
+            )
+        )
+
+    def injections(self) -> list[FaultLogEntry]:
+        """The ``inject`` half of the log, in time order."""
+        return [entry for entry in self.log if entry.action == "inject"]
+
+    # -- per-kind application ----------------------------------------------
+
+    def _node(self, address: int):
+        return self.scenario.vehicles[address].node
+
+    def _apply(self, event: FaultEvent) -> None:
+        if event.kind == "node-crash":
+            node = self._node(event.target[0])
+            node.phy.fail()
+            node.ifq.flush("NODE-DOWN")
+            if node.routing is not None:
+                node.routing.handle_crash()
+        elif event.kind == "link-outage":
+            a, b = event.target
+            self.scenario.channel.block_link(self._node(a).phy, self._node(b).phy)
+        elif event.kind == "power-droop":
+            self._node(event.target[0]).phy.power_scale = event.severity
+        else:  # channel-degradation
+            self._degradations_active += 1
+            self.scenario.channel.set_degradation(event.severity, self._loss_rng)
+
+    def _revert(self, event: FaultEvent) -> None:
+        if event.kind == "node-crash":
+            node = self._node(event.target[0])
+            node.phy.recover()
+            if node.routing is not None:
+                node.routing.handle_recovery()
+        elif event.kind == "link-outage":
+            a, b = event.target
+            self.scenario.channel.unblock_link(
+                self._node(a).phy, self._node(b).phy
+            )
+        elif event.kind == "power-droop":
+            self._node(event.target[0]).phy.power_scale = 1.0
+        else:  # channel-degradation
+            self._degradations_active -= 1
+            if self._degradations_active == 0:
+                self.scenario.channel.clear_degradation()

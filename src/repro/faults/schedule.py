@@ -1,0 +1,268 @@
+"""Deterministic, seed-derived fault schedules.
+
+A :class:`FaultSchedule` is an ordered list of concrete
+:class:`FaultEvent` instances — *when* a fault starts, *how long* it
+lasts, *what* it hits, and *how hard*.  Schedules can be written by hand
+(tests, targeted what-if studies) or derived from a stochastic
+:class:`FaultPlan` via :meth:`FaultSchedule.from_plan`, which draws every
+fault class from its own named RNG stream (the
+:mod:`repro.core.seeding` convention), so
+
+* the same ``(plan, seed)`` always yields the identical schedule, and
+* adding, say, channel-degradation windows to a plan never perturbs the
+  crash times already drawn for the node-crash stream.
+
+Fault classes
+-------------
+``node-crash``
+    A vehicle's radio goes silent and its volatile protocol state
+    (interface queue, routing table) is lost; it recovers after the
+    downtime with a cold stack.
+``link-outage``
+    One node pair stops hearing each other (both directions) for a
+    window — an obstruction or deep fade, invisible to everyone else.
+``power-droop``
+    A node's transmit power is scaled down (battery/amplifier fault),
+    shrinking its communication range until recovery.
+``channel-degradation``
+    The whole channel drops frames with some probability for a window —
+    weather or wideband interference.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, Optional, Sequence
+
+#: The recognised fault classes.
+FAULT_KINDS = (
+    "node-crash",
+    "link-outage",
+    "power-droop",
+    "channel-degradation",
+)
+
+#: Fault kinds whose ``severity`` must lie in (0, 1).
+_FRACTIONAL_SEVERITY = ("power-droop", "channel-degradation")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One concrete fault: kind, onset, duration, target, severity.
+
+    ``target`` holds node addresses: one for ``node-crash`` and
+    ``power-droop``, two for ``link-outage``, none for
+    ``channel-degradation``.  ``severity`` is the surviving power
+    fraction for a droop and the frame-loss probability for a
+    degradation; it is unused (1.0) for crashes and outages.
+    """
+
+    kind: str
+    start: float
+    duration: float
+    target: tuple[int, ...] = ()
+    severity: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; expected one of {FAULT_KINDS}"
+            )
+        if not math.isfinite(self.start) or self.start < 0:
+            raise ValueError("fault start must be finite and >= 0")
+        if not math.isfinite(self.duration) or self.duration <= 0:
+            raise ValueError("fault duration must be finite and positive")
+        expected_targets = {
+            "node-crash": 1,
+            "power-droop": 1,
+            "link-outage": 2,
+            "channel-degradation": 0,
+        }[self.kind]
+        if len(self.target) != expected_targets:
+            raise ValueError(
+                f"{self.kind} fault needs {expected_targets} target node(s), "
+                f"got {self.target!r}"
+            )
+        if self.kind == "link-outage" and self.target[0] == self.target[1]:
+            raise ValueError("link-outage endpoints must differ")
+        if self.kind in _FRACTIONAL_SEVERITY and not 0 < self.severity < 1:
+            raise ValueError(
+                f"{self.kind} severity must be in (0, 1), got {self.severity!r}"
+            )
+
+    @property
+    def end(self) -> float:
+        """Simulated time at which the fault recovers."""
+        return self.start + self.duration
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Stochastic fault description; concrete times derive from the seed.
+
+    Counts say how many events of each class to draw; the ``*_range``
+    pairs bound the per-event uniform draws.  ``onset_window`` is the
+    fraction of the run inside which fault onsets fall, so short smoke
+    runs and full-length trials can share one plan.
+    """
+
+    node_crashes: int = 0
+    crash_downtime: tuple[float, float] = (0.5, 3.0)
+    link_outages: int = 0
+    outage_duration: tuple[float, float] = (0.5, 3.0)
+    power_droops: int = 0
+    droop_factor: tuple[float, float] = (0.05, 0.5)
+    droop_duration: tuple[float, float] = (0.5, 3.0)
+    degradations: int = 0
+    degradation_loss: tuple[float, float] = (0.2, 0.6)
+    degradation_duration: tuple[float, float] = (0.5, 3.0)
+    onset_window: tuple[float, float] = (0.05, 0.8)
+
+    def __post_init__(self) -> None:
+        for name in (
+            "node_crashes", "link_outages", "power_droops", "degradations"
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+        ranges = (
+            ("crash_downtime", self.crash_downtime, False),
+            ("outage_duration", self.outage_duration, False),
+            ("droop_factor", self.droop_factor, True),
+            ("droop_duration", self.droop_duration, False),
+            ("degradation_loss", self.degradation_loss, True),
+            ("degradation_duration", self.degradation_duration, False),
+            ("onset_window", self.onset_window, None),
+        )
+        for name, (low, high), fractional in ranges:
+            if low > high:
+                raise ValueError(f"{name} range must be (low, high)")
+            if fractional is True and not (0 < low and high < 1):
+                raise ValueError(f"{name} bounds must lie in (0, 1)")
+            if fractional is False and low <= 0:
+                raise ValueError(f"{name} bounds must be positive")
+            if fractional is None and not (0 <= low and high <= 1):
+                raise ValueError(f"{name} bounds must lie in [0, 1]")
+
+    @property
+    def total_events(self) -> int:
+        """Events this plan draws per schedule."""
+        return (
+            self.node_crashes
+            + self.link_outages
+            + self.power_droops
+            + self.degradations
+        )
+
+
+class FaultSchedule:
+    """An immutable, time-ordered collection of :class:`FaultEvent`."""
+
+    def __init__(self, events: Sequence[FaultEvent]) -> None:
+        self.events: tuple[FaultEvent, ...] = tuple(
+            sorted(events, key=lambda e: (e.start, e.kind, e.target))
+        )
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[FaultEvent]:
+        return iter(self.events)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FaultSchedule):
+            return NotImplemented
+        return self.events == other.events
+
+    def __repr__(self) -> str:
+        return f"<FaultSchedule {len(self.events)} events>"
+
+    @classmethod
+    def from_plan(
+        cls,
+        plan: FaultPlan,
+        seed: int,
+        duration: float,
+        nodes: Sequence[int],
+    ) -> "FaultSchedule":
+        """Derive the concrete schedule for ``(plan, seed)``.
+
+        Each fault class draws from its own ``faults.<kind>`` stream so
+        schedules stay stable when a plan gains a new class.
+        """
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        if not nodes:
+            raise ValueError("need at least one node to inject faults into")
+        if plan.link_outages > 0 and len(nodes) < 2:
+            raise ValueError("link outages need at least two nodes")
+        # Imported here, not at module level: repro.core's package
+        # __init__ pulls in the scenario stack, which imports this
+        # module back — a top-level import would be circular.
+        from repro.core.seeding import derive_rng
+
+        lo, hi = plan.onset_window
+        start_lo, start_hi = lo * duration, hi * duration
+        events: list[FaultEvent] = []
+
+        rng = derive_rng(seed, "faults.node-crash")
+        for _ in range(plan.node_crashes):
+            events.append(
+                FaultEvent(
+                    kind="node-crash",
+                    start=rng.uniform(start_lo, start_hi),
+                    duration=rng.uniform(*plan.crash_downtime),
+                    target=(nodes[rng.randrange(len(nodes))],),
+                )
+            )
+
+        rng = derive_rng(seed, "faults.link-outage")
+        for _ in range(plan.link_outages):
+            pair = rng.sample(list(nodes), 2)
+            events.append(
+                FaultEvent(
+                    kind="link-outage",
+                    start=rng.uniform(start_lo, start_hi),
+                    duration=rng.uniform(*plan.outage_duration),
+                    target=(pair[0], pair[1]),
+                )
+            )
+
+        rng = derive_rng(seed, "faults.power-droop")
+        for _ in range(plan.power_droops):
+            events.append(
+                FaultEvent(
+                    kind="power-droop",
+                    start=rng.uniform(start_lo, start_hi),
+                    duration=rng.uniform(*plan.droop_duration),
+                    target=(nodes[rng.randrange(len(nodes))],),
+                    severity=rng.uniform(*plan.droop_factor),
+                )
+            )
+
+        rng = derive_rng(seed, "faults.channel-degradation")
+        for _ in range(plan.degradations):
+            events.append(
+                FaultEvent(
+                    kind="channel-degradation",
+                    start=rng.uniform(start_lo, start_hi),
+                    duration=rng.uniform(*plan.degradation_duration),
+                    severity=rng.uniform(*plan.degradation_loss),
+                )
+            )
+        return cls(events)
+
+
+#: Named plans for the CLI and the campaign smoke target.  ``none`` keeps
+#: the paper's clean-channel baseline.
+FAULT_PLAN_PRESETS: dict[str, Optional[FaultPlan]] = {
+    "none": None,
+    "light": FaultPlan(node_crashes=1, link_outages=1, degradations=1),
+    "heavy": FaultPlan(
+        node_crashes=2,
+        link_outages=2,
+        power_droops=2,
+        degradations=2,
+        degradation_loss=(0.4, 0.8),
+    ),
+}

@@ -20,6 +20,7 @@ SIM003    constant negative/non-finite delay to ``timeout()``/``schedule()``
 SIM004    mutable default argument
 SIM005    iteration over a ``set`` / ``.keys()`` view in a hot path
 SIM006    direct mutation of ``Environment._queue`` (bypasses schedule())
+SIM007    blanket ``except``/``except Exception`` that silently swallows
 ========  =============================================================
 
 Any finding can be suppressed on its line with ``# simlint: disable=SIMxxx``

@@ -551,6 +551,62 @@ class QueueBypassRule(Rule):
         return isinstance(func, ast.Attribute) and func.attr in _HEAPQ_MUTATORS
 
 
+# -- SIM007 --------------------------------------------------------------------
+
+
+class SilentSwallowRule(Rule):
+    """SIM007: a blanket ``except`` that silently discards the error.
+
+    ``except:``/``except Exception:`` with a body of only ``pass`` (or
+    ``continue``/``...``) hides every failure mode at once — including the
+    kernel's own :class:`SchedulingError` determinism guards.  Robust code
+    catches the narrow exception it expects, or at minimum records the
+    failure before moving on.
+    """
+
+    code = "SIM007"
+    summary = "blanket except that silently swallows the error"
+
+    _BLANKET = frozenset({"Exception", "BaseException"})
+
+    def check(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not self._is_blanket(node.type):
+                continue
+            if not all(self._is_silent(stmt) for stmt in node.body):
+                continue
+            caught = "bare except" if node.type is None else (
+                f"except {ast.unparse(node.type)}"
+            )
+            yield self._diag(
+                ctx,
+                node,
+                f"{caught} swallows every error silently; catch the specific "
+                "exception you expect, or record the failure before "
+                "continuing",
+            )
+
+    def _is_blanket(self, type_node: Optional[ast.expr]) -> bool:
+        if type_node is None:
+            return True  # bare except
+        if isinstance(type_node, ast.Tuple):
+            return any(self._is_blanket(elt) for elt in type_node.elts)
+        name = None
+        if isinstance(type_node, ast.Name):
+            name = type_node.id
+        elif isinstance(type_node, ast.Attribute):
+            name = type_node.attr
+        return name in self._BLANKET
+
+    @staticmethod
+    def _is_silent(stmt: ast.stmt) -> bool:
+        if isinstance(stmt, (ast.Pass, ast.Continue)):
+            return True
+        return isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant)
+
+
 #: The registry, in code order.
 ALL_RULES: tuple[Rule, ...] = (
     ModuleLevelRandomRule(),
@@ -559,6 +615,7 @@ ALL_RULES: tuple[Rule, ...] = (
     MutableDefaultRule(),
     SetIterationRule(),
     QueueBypassRule(),
+    SilentSwallowRule(),
 )
 
 

@@ -9,6 +9,7 @@ hear the signal at all (ns-2's "interference distance" filter).
 
 from __future__ import annotations
 
+import random
 from typing import TYPE_CHECKING, Optional
 
 from repro.net.packet import Packet
@@ -30,8 +31,16 @@ class WirelessChannel:
         self.env = env
         self.propagation = propagation or TwoRayGround()
         self._phys: list[WirelessPhy] = []
+        #: Directed pairs that cannot hear each other (fault injection);
+        #: both directions are stored so membership tests stay O(1).
+        self._blocked: set[tuple[WirelessPhy, WirelessPhy]] = set()
+        #: Channel-wide frame-loss probability in [0, 1) while degraded.
+        self.loss_rate = 0.0
+        self._loss_rng: Optional[random.Random] = None
         #: Statistics: total transmissions offered to the channel.
         self.transmissions = 0
+        #: Frames lost to an active channel-degradation window.
+        self.degraded_losses = 0
 
     def attach(self, phy: WirelessPhy) -> None:
         """Connect a radio to this channel."""
@@ -51,16 +60,45 @@ class WirelessChannel:
         """Radios currently attached."""
         return tuple(self._phys)
 
+    # -- fault hooks -------------------------------------------------------
+
+    def block_link(self, a: WirelessPhy, b: WirelessPhy) -> None:
+        """Make ``a`` and ``b`` mutually inaudible (link outage)."""
+        self._blocked.add((a, b))
+        self._blocked.add((b, a))
+
+    def unblock_link(self, a: WirelessPhy, b: WirelessPhy) -> None:
+        """Restore a link previously taken down by :meth:`block_link`."""
+        self._blocked.discard((a, b))
+        self._blocked.discard((b, a))
+
+    def set_degradation(self, loss_rate: float, rng: random.Random) -> None:
+        """Drop frames channel-wide with probability ``loss_rate``."""
+        if not 0 <= loss_rate < 1:
+            raise ValueError("loss_rate must be in [0, 1)")
+        self.loss_rate = loss_rate
+        self._loss_rng = rng
+
+    def clear_degradation(self) -> None:
+        """End the channel-degradation window."""
+        self.loss_rate = 0.0
+        self._loss_rng = None
+
     def transmit(self, sender: WirelessPhy, pkt: Packet, duration: float) -> None:
         """Offer ``pkt`` from ``sender`` to every other attached radio."""
+        if not sender.up:
+            return
         self.transmissions += 1
         params = sender.params
+        blocked = self._blocked
         for receiver in self._phys:
             if receiver is sender:
                 continue
+            if blocked and (sender, receiver) in blocked:
+                continue
             distance = sender.distance_to(receiver)
             power = self.propagation.rx_power(
-                params.tx_power,
+                sender.tx_power,
                 distance,
                 params.wavelength,
                 tx_gain=params.tx_gain,
@@ -70,6 +108,12 @@ class WirelessChannel:
                 system_loss=params.system_loss,
             )
             if power < receiver.params.cs_threshold:
+                continue
+            if (
+                self._loss_rng is not None
+                and self._loss_rng.random() < self.loss_rate
+            ):
+                self.degraded_losses += 1
                 continue
             delay = distance / SPEED_OF_LIGHT
             self.env.process(

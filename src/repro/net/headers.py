@@ -134,6 +134,9 @@ class EblHeader:
     initial: bool = False
     #: Deceleration being applied by the sender, m/s² (informational).
     deceleration: float = 0.0
+    #: True when this packet acknowledges a received initial warning
+    #: (sent unicast back to the warning's originator).
+    ack: bool = False
 
 
 @dataclass

@@ -96,6 +96,13 @@ class DropTailQueue:
         self._items.insert(0, pkt)
         return True
 
+    def flush(self, reason: str = "IFQ") -> list[Packet]:
+        """Drop everything queued (node crash); returns the dropped packets."""
+        dropped, self._items = self._items, []
+        for pkt in dropped:
+            self._drop(pkt, reason)
+        return dropped
+
     def remove_matching(self, predicate: Callable[[Packet], bool]) -> list[Packet]:
         """Remove and return all queued packets matching ``predicate``.
 

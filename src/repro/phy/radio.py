@@ -132,10 +132,16 @@ class WirelessPhy:
         #: arrives or we start transmitting).  MACs compare epochs across a
         #: timed wait to detect that the medium was disturbed meanwhile.
         self.busy_epoch = 0
+        #: False while the node is crashed: the radio neither emits nor
+        #: decodes, but stays attached so it can come back.
+        self.up = True
+        #: Transmit-power multiplier in (0, 1]; < 1 models a power droop.
+        self.power_scale = 1.0
         #: Statistics.
         self.frames_sent = 0
         self.frames_received = 0
         self.frames_corrupted = 0
+        self.frames_dropped_down = 0
 
     # -- geometry ------------------------------------------------------------
 
@@ -148,6 +154,27 @@ class WirelessPhy:
         """Euclidean distance to another phy, metres."""
         (x1, y1), (x2, y2) = self.position, other.position
         return math.hypot(x2 - x1, y2 - y1)
+
+    # -- fault state ---------------------------------------------------------
+
+    @property
+    def tx_power(self) -> float:
+        """Effective transmit power, W (nominal power times droop scale)."""
+        return self.params.tx_power * self.power_scale
+
+    def fail(self) -> None:
+        """Take the radio down (node crash): abandon all in-flight frames."""
+        if not self.up:
+            return
+        self.up = False
+        for signal in self._signals:
+            signal.corrupted = True
+            signal.decoding = False
+        self._current = None
+
+    def recover(self) -> None:
+        """Bring the radio back up after a crash."""
+        self.up = True
 
     # -- carrier sense ---------------------------------------------------------
 
@@ -182,6 +209,10 @@ class WirelessPhy:
         """Emit ``pkt`` for ``duration`` seconds onto the channel."""
         if self.channel is None:
             raise RuntimeError("phy is not attached to a channel")
+        if not self.up:
+            # Crashed node: the frame silently never makes it to the air.
+            self.frames_dropped_down += 1
+            return
         if self.transmitting:
             raise RuntimeError("radio is already transmitting")
         if self._current is not None:
@@ -208,6 +239,8 @@ class WirelessPhy:
         self, pkt: Packet, power: float, duration: float, distance: float = 0.0
     ) -> None:
         """Called by the channel when a signal's first bit arrives."""
+        if not self.up:
+            return  # crashed: deaf until recovery
         if power < self.params.cs_threshold:
             return  # below the noise floor: invisible
         signal = _Signal(
@@ -301,6 +334,11 @@ class WirelessPhy:
     def _signal_lifetime(self, signal: _Signal, duration: float):
         yield self.env.timeout(duration)
         self._signals.remove(signal)
+        if not self.up:
+            # The node crashed mid-reception: no MAC upcalls, no energy
+            # accounting — the frame is simply gone.
+            self._notify_if_idle()
+            return
         if self.energy is not None and signal.power >= self._decode_threshold(
             signal
         ):

@@ -42,6 +42,8 @@ class AodvStats:
     discovery_failures: int = 0
     buffered: int = 0
     buffer_drops: int = 0
+    #: Times the whole protocol state was wiped by a node crash.
+    state_resets: int = 0
 
 
 class Aodv(RoutingProtocol):
@@ -68,6 +70,27 @@ class Aodv(RoutingProtocol):
         if self.params.hello_interval > 0:
             self.env.process(self._hello_loop())
             self.env.process(self._neighbour_watchdog())
+
+    def handle_crash(self) -> None:
+        """Lose all volatile state: routes, discoveries, caches.
+
+        Buffered data packets die with the node (dropped as NODE-DOWN);
+        outstanding discovery timers find their generation gone and lapse.
+        """
+        for discovery in self._discoveries.values():
+            for pkt, _ in discovery.buffer:
+                self.node.drop(pkt, "NODE-DOWN")
+        self._discoveries.clear()
+        self.table = RouteTable()
+        self._rreq_seen.clear()
+        self._neighbour_heard.clear()
+        self.stats.state_resets += 1
+
+    def handle_recovery(self) -> None:
+        """Reboot: bump the sequence number so stale cached routes to us
+        lose against anything we advertise post-restart (RFC 3561 §6.13
+        spirit — a rebooted node must not reuse old sequence numbers)."""
+        self.seqno += 1
 
     # -- origination -------------------------------------------------------------
 

@@ -48,6 +48,12 @@ class RoutingProtocol:
     def link_ok(self, pkt: Packet) -> None:
         """MAC confirmed delivery of ``pkt`` (default: ignore)."""
 
+    def handle_crash(self) -> None:
+        """Node crashed: discard volatile protocol state (default: none)."""
+
+    def handle_recovery(self) -> None:
+        """Node rebooted after a crash (default: nothing to restore)."""
+
     # -- shared helpers ------------------------------------------------------
 
     def _is_for_us(self, pkt: Packet) -> bool:

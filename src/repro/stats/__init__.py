@@ -11,6 +11,12 @@ from repro.stats.metrics import (
     routing_overhead,
 )
 from repro.stats.recorder import ThroughputRecorder
+from repro.stats.resilience import (
+    ResilienceReport,
+    WarningOutcome,
+    recovery_latencies,
+    warning_delivery_probability,
+)
 from repro.stats.summary import (
     SeriesSummary,
     percentile,
@@ -31,11 +37,15 @@ __all__ = [
     "rfc3550_jitter",
     "routing_overhead",
     "DelaySeries",
+    "ResilienceReport",
     "SeriesSummary",
     "ThroughputRecorder",
     "ThroughputSample",
     "ThroughputSeries",
+    "WarningOutcome",
     "delays_from_trace",
     "mean_confidence_interval",
+    "recovery_latencies",
     "summarize",
+    "warning_delivery_probability",
 ]

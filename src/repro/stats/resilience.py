@@ -1,0 +1,104 @@
+"""Resilience metrics: how the warning stream behaves under faults.
+
+The paper's safety analysis (§III.E) asks one question of a clean
+network: *how late is the first brake warning?*  Under fault injection
+(:mod:`repro.faults`) that question splits into three:
+
+* **warning-delivery probability** — the fraction of initial warnings
+  that arrived at all, and within their safety deadline;
+* **recovery latency** — how long after each fault injection the stream
+  next delivered a packet (how fast the network healed);
+* **initial-delay-under-fault distribution** — the paper's headline
+  metric, but as a distribution over faulted trials rather than a single
+  clean-network number.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.stats.summary import SeriesSummary, summarize
+
+
+@dataclass(frozen=True)
+class WarningOutcome:
+    """One initial warning's fate.
+
+    ``delay`` is the one-way delay of the episode's first delivered
+    packet, or ``nan`` when nothing ever arrived; ``deadline`` is the
+    safety budget it had to beat (e.g. spacing/speed — the time until
+    the follower eats the gap).
+    """
+
+    delay: float
+    deadline: float
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.deadline) or self.deadline <= 0:
+            raise ValueError("deadline must be finite and positive")
+
+    @property
+    def arrived(self) -> bool:
+        """True if the warning was delivered at all."""
+        return math.isfinite(self.delay)
+
+    @property
+    def delivered(self) -> bool:
+        """True if the warning arrived within its safety deadline."""
+        return self.arrived and self.delay <= self.deadline
+
+
+def warning_delivery_probability(outcomes: Sequence[WarningOutcome]) -> float:
+    """Fraction of initial warnings delivered within their deadline."""
+    if not outcomes:
+        raise ValueError("no warning outcomes to summarize")
+    delivered = sum(1 for outcome in outcomes if outcome.delivered)
+    return delivered / len(outcomes)
+
+
+def recovery_latencies(
+    fault_times: Sequence[float],
+    delivery_times: Sequence[float],
+) -> list[float]:
+    """Time from each fault injection to the next delivered packet.
+
+    Faults after the last delivery yield no latency (the network never
+    demonstrably recovered within the run), so the result may be shorter
+    than ``fault_times``.
+    """
+    ordered = sorted(delivery_times)
+    latencies: list[float] = []
+    for fault_time in fault_times:
+        index = bisect_left(ordered, fault_time)
+        if index < len(ordered):
+            latencies.append(ordered[index] - fault_time)
+    return latencies
+
+
+@dataclass(frozen=True)
+class ResilienceReport:
+    """The resilience metric bundle for one (usually faulted) trial."""
+
+    outcomes: tuple[WarningOutcome, ...]
+    recovery: tuple[float, ...]
+
+    @property
+    def delivery_probability(self) -> float:
+        """Warning-delivery probability across the trial's episodes."""
+        return warning_delivery_probability(self.outcomes)
+
+    def delay_summary(self) -> Optional[SeriesSummary]:
+        """avg/min/max initial delay over warnings that arrived, if any."""
+        delays = [o.delay for o in self.outcomes if o.arrived]
+        if not delays:
+            return None
+        return summarize(delays)
+
+    def recovery_summary(self) -> Optional[SeriesSummary]:
+        """avg/min/max recovery latency, if any fault recovered."""
+        if not self.recovery:
+            return None
+        return summarize(list(self.recovery))

@@ -2,10 +2,14 @@
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Optional, Union
 
 from repro.transport.tcp import TcpAgent
 from repro.transport.udp import UdpAgent
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.des.core import Environment
 
 
 class FtpApp:
@@ -85,6 +89,100 @@ class CbrApp:
             self.agent.send_bytes(self.packet_size)
         else:
             self.agent.send(self.packet_size)
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """Bounded exponential backoff for application-level retransmission.
+
+    Attempt ``n`` (0-based) fires ``initial_interval * multiplier**n``
+    after the previous one, capped at ``max_interval``; after
+    ``max_attempts`` sends the sender gives up (graceful degradation, not
+    an infinite retry storm on a dead network).
+    """
+
+    initial_interval: float = 0.1
+    multiplier: float = 2.0
+    max_interval: float = 2.0
+    max_attempts: int = 5
+
+    def __post_init__(self) -> None:
+        if self.initial_interval <= 0:
+            raise ValueError("initial_interval must be positive")
+        if self.multiplier < 1:
+            raise ValueError("multiplier must be >= 1")
+        if self.max_interval < self.initial_interval:
+            raise ValueError("max_interval must be >= initial_interval")
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+
+    def interval(self, attempt: int) -> float:
+        """Delay after 0-based send ``attempt`` before the next one."""
+        if attempt < 0:
+            raise ValueError("attempt must be >= 0")
+        return min(
+            self.initial_interval * self.multiplier**attempt,
+            self.max_interval,
+        )
+
+
+class RetryingSender:
+    """Repeats an unreliable send until acknowledged, per a backoff policy.
+
+    ``send_fn`` is invoked once per attempt; :meth:`acknowledge` stops the
+    retries (delivery confirmed), :meth:`cancel` abandons them (the
+    message is moot — e.g. the brakes released).  One instance serves one
+    message; make a new one per message.
+    """
+
+    def __init__(
+        self,
+        env: "Environment",
+        send_fn: Callable[[int], None],
+        policy: Optional[BackoffPolicy] = None,
+    ) -> None:
+        self.env = env
+        self.send_fn = send_fn
+        self.policy = policy or BackoffPolicy()
+        self.attempts = 0
+        self.acknowledged = False
+        self.cancelled = False
+        self.exhausted = False
+        self._started = False
+
+    @property
+    def done(self) -> bool:
+        """True once the retry loop has stopped, for whatever reason."""
+        return self.acknowledged or self.cancelled or self.exhausted
+
+    def start(self) -> None:
+        """Send the first attempt now and begin the retry loop."""
+        if self._started:
+            raise RuntimeError("RetryingSender already started")
+        self._started = True
+        self.env.process(self._run())
+
+    def acknowledge(self) -> None:
+        """Delivery confirmed: stop retrying."""
+        if not self.done:
+            self.acknowledged = True
+
+    def cancel(self) -> None:
+        """Message no longer relevant: stop retrying."""
+        if not self.done:
+            self.cancelled = True
+
+    def _run(self):
+        while not self.done:
+            self.send_fn(self.attempts)
+            self.attempts += 1
+            # Wait out the backoff even after the last attempt, so a
+            # late acknowledgement still lands before we declare defeat.
+            yield self.env.timeout(self.policy.interval(self.attempts - 1))
+            if self.attempts >= self.policy.max_attempts:
+                break
+        if not self.acknowledged and not self.cancelled:
+            self.exhausted = True
 
 
 class OnOffApp:

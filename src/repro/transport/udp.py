@@ -44,9 +44,19 @@ class UdpAgent(Agent):
         payload: int,
         headers: Optional[dict[str, Any]] = None,
         ptype: PacketType = PacketType.CBR,
+        dst: Optional[int] = None,
+        dport: Optional[int] = None,
     ) -> Packet:
-        """Send ``payload`` application bytes to the connected remote."""
-        self._require_connected()
+        """Send ``payload`` application bytes to the connected remote.
+
+        ``dst``/``dport`` (given together) override the connected remote
+        for this one datagram — e.g. a unicast reply to the sender of a
+        broadcast.
+        """
+        if (dst is None) != (dport is None):
+            raise ValueError("give both dst and dport, or neither")
+        if dst is None:
+            self._require_connected()
         if payload <= 0:
             raise ValueError("payload must be positive")
         header = UdpHeader(seqno=self._seqno, payload=payload)
@@ -56,9 +66,9 @@ class UdpAgent(Agent):
             size=payload + UdpHeader.WIRE_SIZE + IpHeader.WIRE_SIZE,
             ip=IpHeader(
                 src=self.address,
-                dst=self.remote_addr,
+                dst=self.remote_addr if dst is None else dst,
                 sport=self.local_port,
-                dport=self.remote_port,
+                dport=self.remote_port if dport is None else dport,
             ),
             headers={"udp": header, **(headers or {})},
             timestamp=self.env.now,

@@ -153,3 +153,81 @@ def test_warning_app_validates_interval(env):
     vehicles = build_vehicles(env)
     with pytest.raises(ValueError):
         EblWarningApp(vehicles[0], repeat_interval=0.0)
+
+
+# -- initial-warning retry/ack (robustness extension) ------------------------------
+
+
+def retry_policy():
+    from repro.transport.apps import BackoffPolicy
+
+    return BackoffPolicy(
+        initial_interval=0.2, multiplier=2.0, max_interval=1.0, max_attempts=4
+    )
+
+
+def test_warning_ack_confirms_initial(env):
+    vehicles = build_vehicles(env)
+    lead = EblWarningApp(vehicles[0], retry_policy=retry_policy())
+    follower = EblWarningApp(vehicles[1], retry_policy=retry_policy())
+    start(vehicles)
+    vehicles[0].schedule_braking(1.0, 3.0)
+    env.run(until=5.0)
+    assert follower.acks_sent >= 1
+    assert lead.initial_acknowledged == 1
+    assert lead.initial_exhausted == 0
+    # Confirmed on the first try: no extra copies of the initial warning.
+    assert lead.initial_retransmits == 0
+
+
+def test_warning_retry_exhausts_without_ackers(env):
+    # The follower app has no policy, so it never acks (symmetric opt-in).
+    vehicles = build_vehicles(env)
+    lead = EblWarningApp(vehicles[0], retry_policy=retry_policy())
+    EblWarningApp(vehicles[1])
+    start(vehicles)
+    vehicles[0].schedule_braking(1.0, None)
+    env.run(until=10.0)
+    assert lead.initial_acknowledged == 0
+    assert lead.initial_exhausted == 1
+    assert lead.initial_retransmits == 3  # max_attempts - 1
+
+
+def test_brake_release_cancels_pending_retry(env):
+    vehicles = build_vehicles(env)
+    lead = EblWarningApp(vehicles[0], retry_policy=retry_policy())
+    start(vehicles)
+    vehicles[0].schedule_braking(1.0, 1.25)  # release before the 2nd retry
+    env.run(until=10.0)
+    assert len(lead.retries) == 1
+    assert lead.retries[0].cancelled
+    assert lead.initial_exhausted == 0
+
+
+def test_expected_acks_needs_enough_peers(env):
+    vehicles = build_vehicles(env)
+    lead = EblWarningApp(
+        vehicles[0], retry_policy=retry_policy(), expected_acks=2
+    )
+    EblWarningApp(vehicles[1], retry_policy=retry_policy())
+    EblWarningApp(vehicles[2], retry_policy=retry_policy())
+    start(vehicles)
+    vehicles[0].schedule_braking(1.0, 3.0)
+    env.run(until=5.0)
+    assert lead.initial_acknowledged == 1
+
+
+def test_warning_app_validates_expected_acks(env):
+    vehicles = build_vehicles(env)
+    with pytest.raises(ValueError):
+        EblWarningApp(vehicles[0], expected_acks=0)
+
+
+def test_baseline_traffic_untouched_without_policy(env):
+    vehicles = build_vehicles(env)
+    app = EblWarningApp(vehicles[0])
+    start(vehicles)
+    vehicles[0].schedule_braking(1.0, 2.0)
+    env.run(until=4.0)
+    assert app.retries == []
+    assert app.acks_sent == 0

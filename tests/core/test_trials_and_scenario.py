@@ -40,6 +40,14 @@ def test_config_validation():
         TrialConfig(platoon_size=1)
     with pytest.raises(ValueError):
         TrialConfig(duration=0)
+    with pytest.raises(ValueError):
+        TrialConfig(throughput_interval=0)
+    with pytest.raises(ValueError):
+        TrialConfig(throughput_interval=-0.5)
+    with pytest.raises(ValueError):
+        TrialConfig(queue_limit=0)
+    with pytest.raises(ValueError):
+        TrialConfig(tcp_window=0)
 
 
 def test_with_overrides_returns_new_config():

@@ -1,0 +1,185 @@
+"""Crash-tolerant campaign runner: isolation, watchdog, checkpoint/resume."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.trials import TrialConfig
+from repro.experiments.campaign import (
+    CampaignResult,
+    CampaignTrial,
+    TrialOutcome,
+    campaign_trials,
+    run_campaign,
+)
+from repro.faults.schedule import FaultPlan
+
+
+def tiny_config(name: str = "campaign-test", seed: int = 1) -> TrialConfig:
+    return TrialConfig(
+        name=name,
+        seed=seed,
+        duration=2.0,
+        enable_trace=False,
+        track_energy=False,
+    )
+
+
+class TestTrialAndOutcomeTypes:
+    def test_trial_key_required(self):
+        with pytest.raises(ValueError, match="key"):
+            CampaignTrial(key="", config=tiny_config())
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            CampaignTrial(key="x", kind="inject-typo")
+
+    def test_real_trial_needs_config(self):
+        with pytest.raises(ValueError, match="config"):
+            CampaignTrial(key="x")
+
+    def test_outcome_json_round_trip(self):
+        outcome = TrialOutcome(
+            key="t1",
+            status="timeout",
+            error="trial exceeded its 5s watchdog",
+            elapsed=5.01,
+        )
+        restored = TrialOutcome.from_json(outcome.to_json())
+        assert restored == outcome
+
+    def test_outcome_json_rejects_unknown_status(self):
+        line = json.dumps({"key": "t1", "status": "exploded"})
+        with pytest.raises(ValueError, match="status"):
+            TrialOutcome.from_json(line)
+
+    def test_campaign_result_lookups(self):
+        outcomes = [
+            TrialOutcome(key="a", status="ok"),
+            TrialOutcome(key="b", status="error", error="boom"),
+            TrialOutcome(key="c", status="timeout"),
+        ]
+        result = CampaignResult(outcomes=outcomes)
+        assert [o.key for o in result.succeeded] == ["a"]
+        assert [o.key for o in result.failed] == ["b", "c"]
+        assert result.outcome("b").error == "boom"
+        with pytest.raises(KeyError):
+            result.outcome("missing")
+
+
+class TestRunCampaign:
+    def test_validates_timeout_and_duplicate_keys(self):
+        trial = CampaignTrial(key="a", config=tiny_config())
+        with pytest.raises(ValueError, match="timeout"):
+            run_campaign([trial], timeout=0.0)
+        dupes = [trial, CampaignTrial(key="a", config=tiny_config(seed=2))]
+        with pytest.raises(ValueError, match="unique"):
+            run_campaign(dupes)
+
+    def test_resume_requires_checkpoint(self):
+        with pytest.raises(ValueError, match="checkpoint"):
+            run_campaign(
+                [CampaignTrial(key="a", config=tiny_config())], resume=True
+            )
+
+    def test_mixed_campaign_survives_crash_and_hang(self, tmp_path):
+        checkpoint = tmp_path / "campaign.jsonl"
+        trials = campaign_trials(
+            tiny_config(),
+            seeds=[1],
+            fault_plan=FaultPlan(node_crashes=1),
+            inject_crash=True,
+            inject_hang=True,
+        )
+        seen: list[str] = []
+        result = run_campaign(
+            trials,
+            timeout=5.0,
+            checkpoint=checkpoint,
+            progress=lambda o: seen.append(o.key),
+        )
+
+        assert [o.status for o in result.outcomes] == [
+            "ok", "error", "timeout",
+        ]
+        assert seen == [t.key for t in trials]
+
+        ok = result.outcome("campaign-test-seed1")
+        assert ok.metrics["faults_injected"] == 1
+        crash = result.outcome("inject-crash")
+        assert "RuntimeError" in crash.error  # full traceback, not a summary
+        hang = result.outcome("inject-hang")
+        assert "watchdog" in hang.error
+        assert hang.elapsed >= 5.0
+
+        # One checkpoint line per outcome, each parseable.
+        lines = checkpoint.read_text().splitlines()
+        assert len(lines) == 3
+        restored = [TrialOutcome.from_json(line) for line in lines]
+        assert [o.key for o in restored] == [t.key for t in trials]
+
+    def test_resume_skips_recorded_outcomes_and_runs_new(self, tmp_path):
+        checkpoint = tmp_path / "campaign.jsonl"
+        done = TrialOutcome(key="old", status="error", error="boom")
+        checkpoint.write_text(done.to_json() + "\n")
+
+        trials = [
+            CampaignTrial(key="old", config=tiny_config(name="old")),
+            CampaignTrial(key="new", config=tiny_config(name="new", seed=2)),
+        ]
+        result = run_campaign(
+            trials, timeout=60.0, checkpoint=checkpoint, resume=True
+        )
+
+        old = result.outcome("old")
+        assert old.resumed is True
+        assert old.status == "error"  # failures are data, not re-run
+        new = result.outcome("new")
+        assert new.resumed is False
+        assert new.status == "ok"
+        # Only the newly-run trial was appended.
+        assert len(checkpoint.read_text().splitlines()) == 2
+
+    def test_corrupt_checkpoint_lines_tolerated(self, tmp_path):
+        checkpoint = tmp_path / "campaign.jsonl"
+        good = TrialOutcome(key="a", status="ok")
+        checkpoint.write_text(
+            "not json at all\n"
+            + json.dumps({"key": "b", "status": "exploded"})
+            + "\n"
+            + good.to_json()
+            + "\n"
+        )
+        result = run_campaign(
+            [CampaignTrial(key="a", config=tiny_config())],
+            checkpoint=checkpoint,
+            resume=True,
+        )
+        assert result.outcome("a").resumed is True
+
+
+class TestCampaignTrials:
+    def test_per_seed_configs(self):
+        base = tiny_config(name="sweep")
+        plan = FaultPlan(node_crashes=1)
+        trials = campaign_trials(base, seeds=[1, 2, 3], fault_plan=plan)
+        assert [t.key for t in trials] == [
+            "sweep-seed1", "sweep-seed2", "sweep-seed3",
+        ]
+        for seed, trial in zip([1, 2, 3], trials):
+            assert trial.config.seed == seed
+            assert trial.config.fault_plan is plan
+            assert trial.config.enable_trace is False
+
+    def test_synthetic_failures_optional(self):
+        base = tiny_config()
+        assert len(campaign_trials(base, seeds=[1])) == 1
+        keys = [
+            t.key
+            for t in campaign_trials(
+                base, seeds=[1], inject_crash=True, inject_hang=True
+            )
+        ]
+        assert keys == ["campaign-test-seed1", "inject-crash", "inject-hang"]

@@ -1,0 +1,156 @@
+"""FaultEvent/FaultPlan validation and schedule derivation determinism."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults.schedule import (
+    FAULT_PLAN_PRESETS,
+    FaultEvent,
+    FaultPlan,
+    FaultSchedule,
+)
+
+NODES = (0, 1, 2, 3, 4, 5)
+
+
+class TestFaultEvent:
+    def test_valid_crash(self):
+        event = FaultEvent("node-crash", start=1.0, duration=2.0, target=(3,))
+        assert event.end == pytest.approx(3.0)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultEvent("meteor-strike", start=0.0, duration=1.0)
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError, match="start"):
+            FaultEvent("node-crash", start=-0.1, duration=1.0, target=(0,))
+
+    def test_nan_start_rejected(self):
+        with pytest.raises(ValueError, match="start"):
+            FaultEvent(
+                "node-crash", start=float("nan"), duration=1.0, target=(0,)
+            )
+
+    def test_zero_duration_rejected(self):
+        with pytest.raises(ValueError, match="duration"):
+            FaultEvent("node-crash", start=0.0, duration=0.0, target=(0,))
+
+    def test_target_arity_enforced(self):
+        with pytest.raises(ValueError, match="target"):
+            FaultEvent("node-crash", start=0.0, duration=1.0, target=(0, 1))
+        with pytest.raises(ValueError, match="target"):
+            FaultEvent("link-outage", start=0.0, duration=1.0, target=(0,))
+        with pytest.raises(ValueError, match="target"):
+            FaultEvent(
+                "channel-degradation", start=0.0, duration=1.0, target=(0,)
+            )
+
+    def test_link_outage_endpoints_must_differ(self):
+        with pytest.raises(ValueError, match="differ"):
+            FaultEvent("link-outage", start=0.0, duration=1.0, target=(2, 2))
+
+    def test_fractional_severity_bounds(self):
+        with pytest.raises(ValueError, match="severity"):
+            FaultEvent(
+                "power-droop", start=0.0, duration=1.0, target=(0,),
+                severity=1.0,
+            )
+        with pytest.raises(ValueError, match="severity"):
+            FaultEvent(
+                "channel-degradation", start=0.0, duration=1.0, severity=0.0
+            )
+
+
+class TestFaultPlan:
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError, match="node_crashes"):
+            FaultPlan(node_crashes=-1)
+
+    def test_inverted_range_rejected(self):
+        with pytest.raises(ValueError, match="crash_downtime"):
+            FaultPlan(crash_downtime=(3.0, 0.5))
+
+    def test_fractional_range_bounds(self):
+        with pytest.raises(ValueError, match="droop_factor"):
+            FaultPlan(droop_factor=(0.0, 0.5))
+        with pytest.raises(ValueError, match="degradation_loss"):
+            FaultPlan(degradation_loss=(0.2, 1.0))
+
+    def test_total_events(self):
+        plan = FaultPlan(
+            node_crashes=2, link_outages=1, power_droops=3, degradations=1
+        )
+        assert plan.total_events == 7
+
+
+class TestFromPlan:
+    PLAN = FaultPlan(
+        node_crashes=2, link_outages=2, power_droops=1, degradations=1
+    )
+
+    def test_same_seed_same_schedule(self):
+        a = FaultSchedule.from_plan(self.PLAN, 7, 60.0, NODES)
+        b = FaultSchedule.from_plan(self.PLAN, 7, 60.0, NODES)
+        assert a == b
+        assert list(a) == list(b)
+
+    def test_different_seed_different_schedule(self):
+        a = FaultSchedule.from_plan(self.PLAN, 7, 60.0, NODES)
+        b = FaultSchedule.from_plan(self.PLAN, 8, 60.0, NODES)
+        assert a != b
+
+    def test_events_sorted_by_start(self):
+        schedule = FaultSchedule.from_plan(self.PLAN, 7, 60.0, NODES)
+        starts = [event.start for event in schedule]
+        assert starts == sorted(starts)
+        assert len(schedule) == self.PLAN.total_events
+
+    def test_onsets_inside_window(self):
+        schedule = FaultSchedule.from_plan(self.PLAN, 7, 60.0, NODES)
+        lo, hi = self.PLAN.onset_window
+        for event in schedule:
+            assert lo * 60.0 <= event.start <= hi * 60.0
+
+    def test_stream_independence_across_classes(self):
+        """Adding a fault class must not move the other classes' draws."""
+        crashes_only = FaultPlan(node_crashes=2)
+        combined = FaultPlan(node_crashes=2, degradations=3, power_droops=1)
+        base = [
+            e for e in FaultSchedule.from_plan(crashes_only, 7, 60.0, NODES)
+        ]
+        mixed = [
+            e
+            for e in FaultSchedule.from_plan(combined, 7, 60.0, NODES)
+            if e.kind == "node-crash"
+        ]
+        assert base == mixed
+
+    def test_targets_are_real_nodes(self):
+        schedule = FaultSchedule.from_plan(self.PLAN, 3, 60.0, NODES)
+        for event in schedule:
+            assert all(t in NODES for t in event.target)
+
+    def test_bad_duration_rejected(self):
+        with pytest.raises(ValueError, match="duration"):
+            FaultSchedule.from_plan(self.PLAN, 1, 0.0, NODES)
+
+    def test_no_nodes_rejected(self):
+        with pytest.raises(ValueError, match="node"):
+            FaultSchedule.from_plan(self.PLAN, 1, 60.0, ())
+
+    def test_link_outage_needs_two_nodes(self):
+        with pytest.raises(ValueError, match="two nodes"):
+            FaultSchedule.from_plan(
+                FaultPlan(link_outages=1), 1, 60.0, (0,)
+            )
+
+    def test_presets(self):
+        assert FAULT_PLAN_PRESETS["none"] is None
+        light = FAULT_PLAN_PRESETS["light"]
+        heavy = FAULT_PLAN_PRESETS["heavy"]
+        assert light.total_events < heavy.total_events
+        for plan in (light, heavy):
+            schedule = FaultSchedule.from_plan(plan, 1, 30.0, NODES)
+            assert len(schedule) == plan.total_events

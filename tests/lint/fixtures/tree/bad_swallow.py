@@ -1,0 +1,22 @@
+"""Fixture: SIM007 (blanket except that silently swallows)."""
+
+
+def swallow_everything(risky):
+    try:
+        risky()
+    except Exception:  # SIM007
+        pass
+
+
+def swallow_bare(risky):
+    try:
+        risky()
+    except:  # noqa: E722  # SIM007
+        ...
+
+
+def narrow_is_fine(mapping):
+    try:
+        return mapping["key"]
+    except KeyError:  # narrow: not flagged
+        return None

@@ -200,6 +200,47 @@ class TestSim006:
         assert codes("n = len(env._queue)\n") == []
 
 
+# -- SIM007: silent blanket except --------------------------------------------
+
+
+class TestSim007:
+    def test_except_exception_pass_flagged(self):
+        src = "try:\n    f()\nexcept Exception:\n    pass\n"
+        assert codes(src) == ["SIM007"]
+
+    def test_bare_except_flagged(self):
+        src = "try:\n    f()\nexcept:\n    pass\n"
+        assert codes(src) == ["SIM007"]
+
+    def test_base_exception_flagged(self):
+        src = "try:\n    f()\nexcept BaseException:\n    ...\n"
+        assert codes(src) == ["SIM007"]
+
+    def test_tuple_containing_exception_flagged(self):
+        src = "while True:\n    try:\n        f()\n    " \
+              "except (ValueError, Exception):\n        continue\n"
+        assert codes(src) == ["SIM007"]
+
+    def test_docstring_only_body_flagged(self):
+        src = 'try:\n    f()\nexcept Exception:\n    "ignored"\n'
+        assert codes(src) == ["SIM007"]
+
+    def test_narrow_swallow_not_flagged(self):
+        src = "try:\n    f()\nexcept KeyError:\n    pass\n"
+        assert codes(src) == []
+
+    def test_blanket_with_handling_not_flagged(self):
+        src = "try:\n    f()\nexcept Exception as exc:\n    log(exc)\n"
+        assert codes(src) == []
+
+    def test_suppressed(self):
+        src = (
+            "try:\n    f()\n"
+            "except Exception:  # simlint: disable=SIM007\n    pass\n"
+        )
+        assert codes(src) == []
+
+
 # -- suppression mechanics ----------------------------------------------------
 
 

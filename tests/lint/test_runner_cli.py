@@ -17,7 +17,7 @@ def test_fixture_tree_violates_every_rule():
     findings = lint_paths([str(FIXTURE_TREE)])
     found_codes = {d.code for d in findings}
     assert found_codes == {
-        "SIM001", "SIM002", "SIM003", "SIM004", "SIM005", "SIM006",
+        "SIM001", "SIM002", "SIM003", "SIM004", "SIM005", "SIM006", "SIM007",
     }
     # Every diagnostic carries a real location.
     for diag in findings:
@@ -51,7 +51,9 @@ def test_cli_lint_subcommand_exit_codes(capsys):
 def test_cli_list_rules(capsys):
     assert cli_main(["lint", "--list-rules"]) == 0
     out = capsys.readouterr().out
-    for code in ("SIM001", "SIM002", "SIM003", "SIM004", "SIM005", "SIM006"):
+    codes = ("SIM001", "SIM002", "SIM003", "SIM004", "SIM005", "SIM006",
+             "SIM007")
+    for code in codes:
         assert code in out
 
 

@@ -1,0 +1,109 @@
+"""Resilience metrics: delivery probability, recovery latency, reports."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.stats import (
+    ResilienceReport,
+    WarningOutcome,
+    recovery_latencies,
+    warning_delivery_probability,
+)
+
+NAN = float("nan")
+
+
+class TestWarningOutcome:
+    def test_on_time_delivery(self):
+        outcome = WarningOutcome(delay=0.2, deadline=1.0)
+        assert outcome.arrived and outcome.delivered
+
+    def test_late_arrival_is_not_delivered(self):
+        outcome = WarningOutcome(delay=1.5, deadline=1.0)
+        assert outcome.arrived
+        assert not outcome.delivered
+
+    def test_never_arrived(self):
+        outcome = WarningOutcome(delay=NAN, deadline=1.0)
+        assert not outcome.arrived
+        assert not outcome.delivered
+
+    def test_exact_deadline_counts(self):
+        assert WarningOutcome(delay=1.0, deadline=1.0).delivered
+
+    @pytest.mark.parametrize("deadline", [0.0, -1.0, NAN, float("inf")])
+    def test_bad_deadline_rejected(self, deadline):
+        with pytest.raises(ValueError, match="deadline"):
+            WarningOutcome(delay=0.1, deadline=deadline)
+
+
+class TestDeliveryProbability:
+    def test_fraction(self):
+        outcomes = [
+            WarningOutcome(delay=0.1, deadline=1.0),
+            WarningOutcome(delay=2.0, deadline=1.0),  # late
+            WarningOutcome(delay=NAN, deadline=1.0),  # lost
+            WarningOutcome(delay=0.9, deadline=1.0),
+        ]
+        assert warning_delivery_probability(outcomes) == pytest.approx(0.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="no warning outcomes"):
+            warning_delivery_probability([])
+
+
+class TestRecoveryLatencies:
+    def test_next_delivery_after_each_fault(self):
+        latencies = recovery_latencies(
+            fault_times=[1.0, 4.0], delivery_times=[0.5, 2.0, 5.0]
+        )
+        assert latencies == [pytest.approx(1.0), pytest.approx(1.0)]
+
+    def test_unsorted_deliveries_handled(self):
+        latencies = recovery_latencies([1.0], [5.0, 2.0, 9.0])
+        assert latencies == [pytest.approx(1.0)]
+
+    def test_delivery_at_fault_instant_counts_as_zero(self):
+        assert recovery_latencies([2.0], [2.0]) == [pytest.approx(0.0)]
+
+    def test_fault_after_last_delivery_omitted(self):
+        # The network never demonstrably recovered from the second fault.
+        assert recovery_latencies([1.0, 8.0], [2.0]) == [pytest.approx(1.0)]
+
+    def test_no_deliveries_no_latencies(self):
+        assert recovery_latencies([1.0, 2.0], []) == []
+
+
+class TestResilienceReport:
+    def test_summaries(self):
+        report = ResilienceReport(
+            outcomes=(
+                WarningOutcome(delay=0.2, deadline=1.0),
+                WarningOutcome(delay=0.4, deadline=1.0),
+                WarningOutcome(delay=NAN, deadline=1.0),
+            ),
+            recovery=(0.5, 1.5),
+        )
+        assert report.delivery_probability == pytest.approx(2 / 3)
+
+        delay = report.delay_summary()  # over the two that arrived
+        assert delay.count == 2
+        assert delay.average == pytest.approx(0.3)
+
+        recovery = report.recovery_summary()
+        assert recovery.count == 2
+        assert recovery.minimum == pytest.approx(0.5)
+        assert recovery.maximum == pytest.approx(1.5)
+
+    def test_empty_summaries_are_none(self):
+        report = ResilienceReport(
+            outcomes=(WarningOutcome(delay=NAN, deadline=1.0),),
+            recovery=(),
+        )
+        assert report.delay_summary() is None
+        assert report.recovery_summary() is None
+        assert report.delivery_probability == 0.0
+        assert math.isnan(report.outcomes[0].delay)

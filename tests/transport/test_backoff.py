@@ -1,0 +1,117 @@
+"""BackoffPolicy and RetryingSender (application-level retransmission)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.des import Environment
+from repro.transport.apps import BackoffPolicy, RetryingSender
+
+
+class TestBackoffPolicy:
+    def test_intervals_grow_then_cap(self):
+        policy = BackoffPolicy(
+            initial_interval=0.1, multiplier=2.0, max_interval=0.5
+        )
+        intervals = [policy.interval(n) for n in range(5)]
+        assert intervals == [
+            pytest.approx(0.1),
+            pytest.approx(0.2),
+            pytest.approx(0.4),
+            pytest.approx(0.5),  # capped
+            pytest.approx(0.5),
+        ]
+
+    def test_multiplier_one_is_constant(self):
+        policy = BackoffPolicy(initial_interval=0.3, multiplier=1.0)
+        assert policy.interval(7) == pytest.approx(0.3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="initial_interval"):
+            BackoffPolicy(initial_interval=0.0)
+        with pytest.raises(ValueError, match="multiplier"):
+            BackoffPolicy(multiplier=0.5)
+        with pytest.raises(ValueError, match="max_interval"):
+            BackoffPolicy(initial_interval=1.0, max_interval=0.5)
+        with pytest.raises(ValueError, match="max_attempts"):
+            BackoffPolicy(max_attempts=0)
+        with pytest.raises(ValueError, match="attempt"):
+            BackoffPolicy().interval(-1)
+
+
+class TestRetryingSender:
+    POLICY = BackoffPolicy(
+        initial_interval=0.1, multiplier=2.0, max_interval=1.0, max_attempts=3
+    )
+
+    def sender(self, env, policy=None):
+        sends = []
+        sender = RetryingSender(
+            env, lambda attempt: sends.append((env.now, attempt)),
+            policy or self.POLICY,
+        )
+        return sender, sends
+
+    def test_retries_until_exhausted(self):
+        env = Environment()
+        sender, sends = self.sender(env)
+        sender.start()
+        env.run(until=10.0)
+        assert [attempt for _, attempt in sends] == [0, 1, 2]
+        times = [t for t, _ in sends]
+        assert times == [
+            pytest.approx(0.0), pytest.approx(0.1), pytest.approx(0.3),
+        ]
+        assert sender.exhausted and sender.done
+        assert not sender.acknowledged
+
+    def test_acknowledge_stops_retries(self):
+        env = Environment()
+        sender, sends = self.sender(env)
+        sender.start()
+
+        def acker():
+            yield env.timeout(0.15)
+            sender.acknowledge()
+
+        env.process(acker())
+        env.run(until=10.0)
+        assert sender.acknowledged and not sender.exhausted
+        assert len(sends) == 2  # t=0 and t=0.1; none after the ack
+
+    def test_late_ack_beats_exhaustion(self):
+        # Ack lands after the final send but inside its backoff window.
+        env = Environment()
+        sender, sends = self.sender(env)
+        sender.start()
+
+        def late_acker():
+            yield env.timeout(0.35)  # last send fires at t=0.3
+            sender.acknowledge()
+
+        env.process(late_acker())
+        env.run(until=10.0)
+        assert len(sends) == 3
+        assert sender.acknowledged
+        assert not sender.exhausted
+
+    def test_cancel_abandons_quietly(self):
+        env = Environment()
+        sender, sends = self.sender(env)
+        sender.start()
+
+        def canceller():
+            yield env.timeout(0.05)
+            sender.cancel()
+
+        env.process(canceller())
+        env.run(until=10.0)
+        assert sender.cancelled and not sender.exhausted
+        assert len(sends) == 1
+
+    def test_restart_rejected(self):
+        env = Environment()
+        sender, _ = self.sender(env)
+        sender.start()
+        with pytest.raises(RuntimeError, match="started"):
+            sender.start()
