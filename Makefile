@@ -1,6 +1,6 @@
 # Convenience targets for the EBL reproduction.
 
-.PHONY: install test lint bench report figures nam sweep campaign-smoke clean
+.PHONY: install test lint bench bench-smoke bench-micro report figures nam sweep campaign-smoke clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -18,7 +18,21 @@ lint:
 	@if command -v mypy >/dev/null 2>&1; then mypy; \
 	else echo "mypy not installed; skipping (pip install -e .[lint])"; fi
 
+# Wall-clock benchmark of the canonical trials (see docs/PERFORMANCE.md).
+# Writes the schema-versioned report to BENCH_trials.json at the repo
+# root; compare against a saved baseline with:
+#   PYTHONPATH=src python -m repro.cli bench --compare BENCH_trials.json
 bench:
+	PYTHONPATH=src python -m repro.cli bench --profile paper \
+		--output BENCH_trials.json
+
+# Short profile for CI and quick local sanity checks.
+bench-smoke:
+	PYTHONPATH=src python -m repro.cli bench --profile smoke \
+		--output BENCH_trials.json
+
+# The pytest-benchmark micro suite (kernel-level timings).
+bench-micro:
 	pytest benchmarks/ --benchmark-only
 
 report:

@@ -6,6 +6,8 @@ Subcommands::
     ebl-sim report [--duration 40] [--output EXPERIMENTS.md]
     ebl-sim sweep {packet-size,platoon-size,tdma-slots}
     ebl-sim campaign --trial 1 --seeds 5 --fault-plan light [--resume]
+    ebl-sim bench [--profile smoke|paper] [--output BENCH_trials.json]
+                  [--compare BASELINE]
     ebl-sim lint [paths ...]
 """
 
@@ -34,6 +36,7 @@ from repro.experiments.sweeps import (
     platoon_size_sweep,
     tdma_slot_ablation,
 )
+from repro.perf.bench import DEFAULT_THRESHOLD, PROFILES
 
 TRIALS = {1: TRIAL_1, 2: TRIAL_2, 3: TRIAL_3}
 
@@ -230,6 +233,39 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.perf.bench import (
+        compare_reports,
+        format_report,
+        load_report,
+        run_bench,
+        write_report,
+    )
+
+    report = run_bench(
+        profile=args.profile, repeats=args.repeat, duration=args.duration
+    )
+    print(format_report(report))
+    if args.output:
+        write_report(report, args.output)
+        print(f"bench report written to {args.output}")
+    if args.compare:
+        baseline = load_report(args.compare)
+        regressions = compare_reports(
+            report, baseline, threshold=args.threshold
+        )
+        if regressions:
+            print(f"PERFORMANCE REGRESSION vs {args.compare}:")
+            for message in regressions:
+                print(f"  {message}")
+            return 1
+        print(
+            f"no regression vs {args.compare} "
+            f"(threshold {100 * args.threshold:.0f}%)"
+        )
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.lint.runner import run_lint
 
@@ -310,6 +346,37 @@ def build_parser() -> argparse.ArgumentParser:
                         help="add a synthetic hung trial that must hit the "
                         "watchdog")
     camp_p.set_defaults(func=_cmd_campaign)
+
+    bench_p = sub.add_parser(
+        "bench",
+        help="wall-clock benchmark of the canonical trials "
+        "(schema-versioned JSON report, optional regression gate)",
+    )
+    bench_p.add_argument(
+        "--profile", choices=sorted(PROFILES), default="paper",
+        help="named duration/repeat preset (default: paper)",
+    )
+    bench_p.add_argument(
+        "--repeat", type=int, default=None,
+        help="override the profile's repeat count (best-of-N)",
+    )
+    bench_p.add_argument(
+        "--duration", type=float, default=None,
+        help="override every trial's simulated duration, seconds",
+    )
+    bench_p.add_argument(
+        "--output", default=None,
+        help="write the JSON report here (e.g. BENCH_trials.json)",
+    )
+    bench_p.add_argument(
+        "--compare", default=None, metavar="BASELINE",
+        help="compare against a previous report; exit 1 on regression",
+    )
+    bench_p.add_argument(
+        "--threshold", type=float, default=DEFAULT_THRESHOLD,
+        help="relative slowdown tolerated by --compare (default 0.15)",
+    )
+    bench_p.set_defaults(func=_cmd_bench)
 
     lint_p = sub.add_parser(
         "lint",

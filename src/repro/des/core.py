@@ -11,6 +11,8 @@ from repro.des.events import AllOf, AnyOf, Event, Timeout, NORMAL
 from repro.des.exceptions import SchedulingError, SimulationError, StopSimulation
 from repro.des.process import Process, ProcessGenerator
 
+_INF = float("inf")
+
 
 class Environment:
     """Execution environment for a discrete-event simulation.
@@ -35,6 +37,8 @@ class Environment:
         self._queue: list[tuple[float, int, int, Event]] = []
         self._eid = count()
         self._active_proc: Optional[Process] = None
+        #: Events processed so far (the bench harness's events/sec metric).
+        self.events_processed = 0
 
     def __repr__(self) -> str:
         return f"<Environment(now={self._now}, pending={len(self._queue)})>"
@@ -88,6 +92,18 @@ class Environment:
         arbitrary), and a negative delay would fire the event in the
         simulated past.  Both raise :class:`SchedulingError`.
         """
+        # One chained comparison covers every invalid case on the hot
+        # path: NaN compares false, negatives fail the lower bound, +inf
+        # fails the upper.  The cold branch re-derives the precise error.
+        if 0.0 <= delay < _INF:
+            heappush(
+                self._queue, (self._now + delay, priority, next(self._eid), event)
+            )
+            return
+        self._reject_delay(event, delay)
+
+    def _reject_delay(self, event: Event, delay: float) -> None:
+        """Raise the appropriate :class:`SchedulingError` for ``delay``."""
         delay = float(delay)
         if not isfinite(delay):
             raise SchedulingError(
@@ -97,15 +113,13 @@ class Environment:
                 now=self._now,
                 event=event,
             )
-        if delay < 0:
-            raise SchedulingError(
-                f"cannot schedule {event!r} {-delay} s in the past "
-                f"(delay={delay!r} at t={self._now})",
-                delay=delay,
-                now=self._now,
-                event=event,
-            )
-        heappush(self._queue, (self._now + delay, priority, next(self._eid), event))
+        raise SchedulingError(
+            f"cannot schedule {event!r} {-delay} s in the past "
+            f"(delay={delay!r} at t={self._now})",
+            delay=delay,
+            now=self._now,
+            event=event,
+        )
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if queue is empty."""
@@ -128,6 +142,7 @@ class Environment:
                 event=event,
             )
         self._now = at
+        self.events_processed += 1
 
         callbacks, event.callbacks = event.callbacks, None
         for callback in callbacks:
@@ -163,11 +178,40 @@ class Environment:
                 return until.value
             until.callbacks.append(self._stop_callback)
 
+        # The hot loop.  This duplicates :meth:`step` with the heap, the
+        # strict flag, and the pop bound to locals: on long runs the event
+        # loop dominates wall-clock, and the per-event attribute lookups
+        # are measurable.  Keep the two in sync.
+        queue = self._queue
+        strict = self._strict
+        pop = heappop
+        events = 0
         try:
-            while self._queue:
-                self.step()
+            while queue:
+                at, _, _, event = pop(queue)
+                if strict and at < self._now:
+                    raise SchedulingError(
+                        f"event {event!r} fired at t={at}, {self._now - at} s "
+                        f"in the past — the event heap was corrupted or "
+                        f"bypassed (now={self._now})",
+                        delay=at - self._now,
+                        now=self._now,
+                        event=event,
+                    )
+                self._now = at
+                events += 1
+
+                callbacks, event.callbacks = event.callbacks, None
+                for callback in callbacks:
+                    callback(event)
+
+                if event._ok is False and not event.defused:
+                    # Nobody handled the failure: surface it to run()'s caller.
+                    raise event._value
         except StopSimulation as stop:
             return stop.value
+        finally:
+            self.events_processed += events
 
         if isinstance(until, Event) and not until.triggered:
             raise SimulationError(

@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Optional
 
 from repro.des.exceptions import SimulationError
+from repro.perf.fastpath import FASTPATH
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.des.core import Environment
@@ -33,6 +34,12 @@ class Event:
     env:
         The environment the event belongs to.
     """
+
+    if FASTPATH:
+        # Events are the most-allocated objects in a run; a fixed slot
+        # layout removes the per-instance __dict__.  Subclasses that add
+        # attributes declare their own __slots__ (or fall back to a dict).
+        __slots__ = ("env", "callbacks", "_value", "_ok", "defused")
 
     def __init__(self, env: "Environment") -> None:
         self.env = env
@@ -115,11 +122,20 @@ class Timeout(Event):
     subclass) from :meth:`Environment.schedule`.
     """
 
+    if FASTPATH:
+        __slots__ = ("_delay",)
+
     def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
-        super().__init__(env)
-        self._delay = delay
-        self._ok = True
+        # Timeouts are the single most-allocated event type (every slot
+        # countdown, ACK wait, and delivery creates one), so the base
+        # __init__ is inlined: attribute-for-attribute identical to
+        # Event.__init__ followed by the triggered-state assignment.
+        self.env = env
+        self.callbacks = []
         self._value = value
+        self._ok = True
+        self.defused = False
+        self._delay = delay
         env.schedule(self, priority=NORMAL, delay=delay)
 
     @property
@@ -131,6 +147,9 @@ class Timeout(Event):
 class Initialize(Event):
     """Internal event that starts a :class:`~repro.des.process.Process`."""
 
+    if FASTPATH:
+        __slots__ = ()
+
     def __init__(self, env: "Environment", process: Any) -> None:
         super().__init__(env)
         self.callbacks = [process._resume]
@@ -141,6 +160,9 @@ class Initialize(Event):
 
 class Interruption(Event):
     """Internal urgent event delivering an interrupt to a process."""
+
+    if FASTPATH:
+        __slots__ = ("_process",)
 
     def __init__(self, process: Any, cause: Any) -> None:
         from repro.des.exceptions import Interrupt
@@ -172,6 +194,9 @@ class Interruption(Event):
 
 class Condition(Event):
     """Composite event over several sub-events (``&`` / ``|``)."""
+
+    if FASTPATH:
+        __slots__ = ("_evaluate", "_events", "_count")
 
     def __init__(
         self,
@@ -227,6 +252,9 @@ class Condition(Event):
 class AllOf(Condition):
     """Condition that fires once all of ``events`` have fired."""
 
+    if FASTPATH:
+        __slots__ = ()
+
     def __init__(self, env: "Environment", events: Iterable["Event"]) -> None:
         super().__init__(env, Condition.all_events, events)
 
@@ -234,5 +262,105 @@ class AllOf(Condition):
 class AnyOf(Condition):
     """Condition that fires once any of ``events`` has fired."""
 
+    if FASTPATH:
+        __slots__ = ()
+
     def __init__(self, env: "Environment", events: Iterable["Event"]) -> None:
         super().__init__(env, Condition.any_events, events)
+
+
+class DeferredCall(Event):
+    """Run ``fn`` after ``delay`` seconds, mimicking a one-yield process.
+
+    The fast path uses this in place of ``env.process(one_yield_gen())``
+    for fire-and-forget work (channel delivery, transmit-done
+    notification).  A generator process costs three heap events —
+    :class:`Initialize`, the :class:`Timeout` it yields, and the process's
+    own completion event; this costs two and no generator frame.
+
+    Equivalence with the process version is exact, not approximate: the
+    first stage is scheduled ``URGENT`` at the current time from the same
+    call site where ``Process.__init__`` would schedule its
+    ``Initialize``, and the delay :class:`Timeout` is created inside that
+    stage's callback — the same point in the global scheduling sequence
+    where the generator's first ``yield env.timeout(delay)`` would create
+    it.  ``fn`` then runs as the timeout's callback, exactly where
+    ``Process._resume`` would run the generator body.  The only event
+    removed is the process completion event, which has no callbacks and
+    therefore cannot affect the relative order of any other events.
+    """
+
+    if FASTPATH:
+        __slots__ = ("_fn", "_delay")
+
+    def __init__(
+        self, env: "Environment", delay: float, fn: Callable[[], None]
+    ) -> None:
+        self.env = env
+        self._fn = fn
+        self._delay = delay
+        self.callbacks = [self._arm]
+        self._value = None
+        self._ok = True
+        self.defused = False
+        env.schedule(self, priority=URGENT)
+
+    def _arm(self, _event: "Event") -> None:
+        # Bare pre-succeeded Event rather than a Timeout: the second stage
+        # is internal, so the cheaper construction is unobservable.
+        env = self.env
+        stage = Event.__new__(Event)
+        stage.env = env
+        stage.callbacks = [self._run]
+        stage._value = None
+        stage._ok = True
+        stage.defused = False
+        env.schedule(stage, delay=self._delay)
+
+    def _run(self, _event: "Event") -> None:
+        self._fn()
+
+
+class DeferredBatch(Event):
+    """One trampoline stage shared by several deferred callbacks.
+
+    Batched equivalent of creating one :class:`DeferredCall` per
+    ``(delay, callback)`` item *consecutively at a single call site with
+    no event scheduled in between* (the channel's per-receiver delivery
+    fan-out).  N consecutive stage-1 events would hold consecutive
+    insertion ids at the same (time, URGENT) key, so they pop
+    back-to-back with nothing able to run between them, each creating
+    its delay event in turn.  Creating all delay events inside one
+    shared stage callback — in list order — therefore produces the
+    identical global allocation sequence with one heap event instead of
+    N.  Callbacks receive the fired delay event (they are ordinary event
+    callbacks).
+    """
+
+    if FASTPATH:
+        __slots__ = ("_items",)
+
+    def __init__(
+        self,
+        env: "Environment",
+        items: list[tuple[float, Callable[["Event"], None]]],
+    ) -> None:
+        self.env = env
+        self._items = items
+        self.callbacks = [self._arm]
+        self._value = None
+        self._ok = True
+        self.defused = False
+        env.schedule(self, priority=URGENT)
+
+    def _arm(self, _event: "Event") -> None:
+        env = self.env
+        schedule = env.schedule
+        for delay, callback in self._items:
+            stage = Event.__new__(Event)
+            stage.env = env
+            stage.callbacks = [callback]
+            stage._value = None
+            stage._ok = True
+            stage.defused = False
+            schedule(stage, delay=delay)

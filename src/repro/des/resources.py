@@ -15,6 +15,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Any, Callable, Optional
 
 from repro.des.events import Event
+from repro.perf.fastpath import FASTPATH
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.des.core import Environment
@@ -26,6 +27,9 @@ class _BaseRequest(Event):
     Supports use as a context manager so that ``with resource.request() as
     req: yield req`` releases automatically.
     """
+
+    if FASTPATH:
+        __slots__ = ("resource",)
 
     def __init__(self, resource: Any) -> None:
         super().__init__(resource.env)
@@ -44,6 +48,9 @@ class _BaseRequest(Event):
 
 class ResourceRequest(_BaseRequest):
     """Request for one slot of a :class:`Resource`."""
+
+    if FASTPATH:
+        __slots__ = ()
 
     def cancel(self) -> None:
         if self.triggered:
@@ -163,6 +170,9 @@ class Container:
 class StorePut(_BaseRequest):
     """Request to insert an item into a :class:`Store`."""
 
+    if FASTPATH:
+        __slots__ = ("item",)
+
     def __init__(self, store: "Store", item: Any) -> None:
         super().__init__(store)
         self.item = item
@@ -177,6 +187,9 @@ class StorePut(_BaseRequest):
 
 class StoreGet(_BaseRequest):
     """Request to remove an item from a :class:`Store`."""
+
+    if FASTPATH:
+        __slots__ = ()
 
     def cancel(self) -> None:
         if not self.triggered:
@@ -242,6 +255,9 @@ class Store:
 
 class FilterStoreGet(StoreGet):
     """Get request carrying an item-selection predicate."""
+
+    if FASTPATH:
+        __slots__ = ("predicate",)
 
     def __init__(
         self, store: "FilterStore", predicate: Callable[[Any], bool]

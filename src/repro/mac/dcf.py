@@ -21,7 +21,7 @@ import random
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional
 
-from repro.des.events import Event
+from repro.des.events import Event, Timeout
 from repro.net.addresses import Address, BROADCAST
 from repro.net.headers import IpHeader, MacHeader
 from repro.net.packet import Packet, PacketType
@@ -161,13 +161,27 @@ class Dcf80211Mac(Mac):
 
     def _backoff(self, slots: int):
         """Count down ``slots`` idle slots, freezing while the medium is busy."""
-        params = self.params
+        # The slot countdown is the densest event producer under
+        # contention: one timeout per slot per station.  Bind the phy,
+        # environment, and slot length once per call, construct the
+        # Timeout directly, and inline _medium_free (transmitting, signal
+        # list, NAV, and EIFS checks) to shave per-slot call overhead.
+        slot_time = self.params.slot_time
+        phy = self.phy
+        env = self.env
         while slots > 0:
             yield from self._wait_free_for(self._aifs)
             while slots > 0:
-                epoch = self.phy.busy_epoch
-                yield self.env.timeout(params.slot_time)
-                if self.phy.busy_epoch != epoch or not self._medium_free():
+                epoch = phy.busy_epoch
+                yield Timeout(env, slot_time)
+                now = env.now
+                if (
+                    phy.busy_epoch != epoch
+                    or now < phy._tx_end_time
+                    or phy._signals
+                    or now < self._nav_until
+                    or now < self._eifs_until
+                ):
                     break  # freeze: re-defer for AIFS
                 slots -= 1
 

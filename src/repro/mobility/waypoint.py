@@ -3,14 +3,20 @@
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from bisect import bisect_right
+from dataclasses import dataclass, field
 
 from repro.mobility.base import MobilityModel, Position
 
 
 @dataclass
 class _Segment:
-    """One straight-line movement leg."""
+    """One straight-line movement leg.
+
+    Distance, duration, and end time are fixed once the leg is built, so
+    they are computed eagerly — ``position_at`` runs on every channel
+    transmission and must not redo the hypotenuse each call.
+    """
 
     start_time: float
     x0: float
@@ -18,20 +24,17 @@ class _Segment:
     x1: float
     y1: float
     speed: float
+    distance: float = field(init=False)
+    duration: float = field(init=False)
+    end_time: float = field(init=False)
 
-    @property
-    def distance(self) -> float:
-        return math.hypot(self.x1 - self.x0, self.y1 - self.y0)
-
-    @property
-    def duration(self) -> float:
+    def __post_init__(self) -> None:
+        self.distance = math.hypot(self.x1 - self.x0, self.y1 - self.y0)
         if self.speed <= 0 or self.distance == 0:
-            return 0.0
-        return self.distance / self.speed
-
-    @property
-    def end_time(self) -> float:
-        return self.start_time + self.duration
+            self.duration = 0.0
+        else:
+            self.duration = self.distance / self.speed
+        self.end_time = self.start_time + self.duration
 
     def position_at(self, t: float) -> Position:
         if self.duration == 0 or t >= self.end_time:
@@ -54,6 +57,9 @@ class WaypointMobility(MobilityModel):
     def __init__(self, x: float, y: float) -> None:
         self._initial: Position = (float(x), float(y))
         self._segments: list[_Segment] = []
+        #: Segment start times, kept parallel to ``_segments`` so
+        #: ``position`` can bisect instead of scanning every leg.
+        self._start_times: list[float] = []
 
     def set_destination(self, at_time: float, x: float, y: float, speed: float) -> None:
         """Schedule a movement starting at ``at_time`` (ns-2 ``setdest``)."""
@@ -69,14 +75,16 @@ class WaypointMobility(MobilityModel):
         self._segments.append(
             _Segment(at_time, x0, y0, float(x), float(y), float(speed))
         )
+        self._start_times.append(at_time)
 
     def position(self, t: float) -> Position:
-        current = self._initial
-        for seg in self._segments:
-            if t < seg.start_time:
-                break
-            current = seg.position_at(t)
-        return current
+        # The governing leg is the last one that has started by ``t``
+        # (with equal start times the later command wins, as in the
+        # original linear scan).
+        i = bisect_right(self._start_times, t) - 1
+        if i < 0:
+            return self._initial
+        return self._segments[i].position_at(t)
 
     def velocity(self, t: float) -> Position:
         active = None

@@ -10,9 +10,12 @@ hear the signal at all (ns-2's "interference distance" filter).
 from __future__ import annotations
 
 import random
+from math import hypot
 from typing import TYPE_CHECKING, Optional
 
+from repro.des.events import DeferredBatch
 from repro.net.packet import Packet
+from repro.perf.fastpath import FASTPATH
 from repro.phy.propagation import SPEED_OF_LIGHT, PropagationModel, TwoRayGround
 from repro.phy.radio import WirelessPhy
 
@@ -41,6 +44,26 @@ class WirelessChannel:
         self.transmissions = 0
         #: Frames lost to an active channel-degradation window.
         self.degraded_losses = 0
+        #: Fast path: per sender, a per-receiver map of the last
+        #: ``(sender_pos, receiver_pos, tx_power, distance, rx_power)``.
+        #: Platoon geometry is static or slowly moving, so consecutive
+        #: transmissions usually see identical positions; a position or
+        #: tx-power change misses the cache and recomputes, so mobility
+        #: updates invalidate entries implicitly.  Only used when the
+        #: propagation model is deterministic (a stochastic model draws
+        #: from its RNG per call and must never be cached).  Nested dicts
+        #: rather than (sender, receiver) tuple keys: the sender map is
+        #: fetched once per transmission, avoiding a tuple allocation per
+        #: receiver in the fan-out loop.
+        self._link_cache: dict[
+            WirelessPhy,
+            dict[
+                WirelessPhy,
+                tuple[
+                    tuple[float, float], tuple[float, float], float, float, float
+                ],
+            ],
+        ] = {}
 
     def attach(self, phy: WirelessPhy) -> None:
         """Connect a radio to this channel."""
@@ -54,6 +77,9 @@ class WirelessChannel:
         """Disconnect a radio (e.g. a vehicle leaving the scenario)."""
         self._phys.remove(phy)
         phy.channel = None
+        self._link_cache.pop(phy, None)
+        for receivers in self._link_cache.values():
+            receivers.pop(phy, None)
 
     @property
     def phys(self) -> tuple[WirelessPhy, ...]:
@@ -89,6 +115,9 @@ class WirelessChannel:
         if not sender.up:
             return
         self.transmissions += 1
+        if FASTPATH:
+            self._transmit_fast(sender, pkt, duration)
+            return
         params = sender.params
         blocked = self._blocked
         for receiver in self._phys:
@@ -127,6 +156,87 @@ class WirelessChannel:
                 )
             )
 
+    def _transmit_fast(
+        self, sender: WirelessPhy, pkt: Packet, duration: float
+    ) -> None:
+        """Fast-path fan-out: cached link budgets, trampoline delivery.
+
+        Observably identical to the reference loop in :meth:`transmit`:
+        the same receivers get the same power at the same simulated time,
+        in the same event order (see
+        :class:`~repro.des.events.DeferredCall`).
+        """
+        env = self.env
+        params = sender.params
+        blocked = self._blocked
+        propagation = self.propagation
+        cacheable = getattr(propagation, "deterministic", False)
+        links: dict[WirelessPhy, tuple] = {}
+        if cacheable:
+            sender_links = self._link_cache.get(sender)
+            if sender_links is None:
+                sender_links = self._link_cache[sender] = {}
+            links = sender_links
+        tx_power = sender.tx_power
+        sender_pos = sender.position
+        loss_rng = self._loss_rng
+        deliveries: list[tuple] = []
+        for receiver in self._phys:
+            if receiver is sender:
+                continue
+            if blocked and (sender, receiver) in blocked:
+                continue
+            receiver_pos = receiver.position
+            entry = links.get(receiver)
+            if (
+                entry is not None
+                and entry[0] == sender_pos
+                and entry[1] == receiver_pos
+                and entry[2] == tx_power
+            ):
+                distance = entry[3]
+                power = entry[4]
+            else:
+                # hypot, not sqrt(dx²+dy²): the reference path uses
+                # Phy.distance_to (math.hypot) and the two can differ in
+                # the last ulp, which the equivalence gate would catch.
+                distance = hypot(
+                    receiver_pos[0] - sender_pos[0],
+                    receiver_pos[1] - sender_pos[1],
+                )
+                power = propagation.rx_power(
+                    tx_power,
+                    distance,
+                    params.wavelength,
+                    tx_gain=params.tx_gain,
+                    rx_gain=receiver.params.rx_gain,
+                    tx_height=params.antenna_height,
+                    rx_height=receiver.params.antenna_height,
+                    system_loss=params.system_loss,
+                )
+                if cacheable:
+                    links[receiver] = (
+                        sender_pos,
+                        receiver_pos,
+                        tx_power,
+                        distance,
+                        power,
+                    )
+            if power < receiver.params.cs_threshold:
+                continue
+            if loss_rng is not None and loss_rng.random() < self.loss_rate:
+                self.degraded_losses += 1
+                continue
+            deliveries.append(
+                (
+                    distance / SPEED_OF_LIGHT,
+                    _Delivery(receiver, pkt.copy(keep_uid=True), power,
+                              duration, distance),
+                )
+            )
+        if deliveries:
+            DeferredBatch(env, deliveries)
+
     def _deliver(
         self,
         receiver: WirelessPhy,
@@ -138,3 +248,28 @@ class WirelessChannel:
     ):
         yield self.env.timeout(delay)
         receiver.begin_receive(pkt, power, duration, distance=distance)
+
+
+class _Delivery:
+    """Delivery event callback (cheaper than a closure per frame)."""
+
+    __slots__ = ("receiver", "pkt", "power", "duration", "distance")
+
+    def __init__(
+        self,
+        receiver: WirelessPhy,
+        pkt: Packet,
+        power: float,
+        duration: float,
+        distance: float,
+    ) -> None:
+        self.receiver = receiver
+        self.pkt = pkt
+        self.power = power
+        self.duration = duration
+        self.distance = distance
+
+    def __call__(self, _event: object = None) -> None:
+        self.receiver.begin_receive(
+            self.pkt, self.power, self.duration, distance=self.distance
+        )

@@ -10,10 +10,17 @@ overhead consistently.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+
 from repro.net.addresses import Address, BROADCAST
+from repro.perf.fastpath import FASTPATH
+
+#: Headers are copied once per receiver per hop, so their memory layout is
+#: hot; slotted dataclasses drop the per-instance dict (reference mode keeps
+#: the plain layout).
+_slotted = dataclass(slots=True) if FASTPATH else dataclass
 
 
-@dataclass
+@_slotted
 class IpHeader:
     """Network-layer header (20 bytes on the wire)."""
 
@@ -26,7 +33,7 @@ class IpHeader:
     dport: int = 0
 
 
-@dataclass
+@_slotted
 class MacHeader:
     """Link-layer header filled in by the routing layer / MAC.
 
@@ -47,7 +54,7 @@ class MacHeader:
     retries: int = 0
 
 
-@dataclass
+@_slotted
 class TcpHeader:
     """Simplified one-way TCP header (ns-2 Agent/TCP style).
 
@@ -66,7 +73,7 @@ class TcpHeader:
     payload: int = 0
 
 
-@dataclass
+@_slotted
 class UdpHeader:
     """UDP header (8 bytes on the wire)."""
 
@@ -76,7 +83,7 @@ class UdpHeader:
     payload: int = 0
 
 
-@dataclass
+@_slotted
 class AodvHeader:
     """AODV control header (RFC 3561 field subset).
 
@@ -115,7 +122,7 @@ class AodvHeader:
         return base
 
 
-@dataclass
+@_slotted
 class EblHeader:
     """Extended-Brake-Lights application payload descriptor.
 
@@ -139,7 +146,7 @@ class EblHeader:
     ack: bool = False
 
 
-@dataclass
+@_slotted
 class DsdvHeader:
     """DSDV full/incremental dump header (baseline protocol)."""
 

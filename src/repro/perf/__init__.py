@@ -1,0 +1,11 @@
+"""Performance layer: the fast-path gate and the benchmark harness.
+
+This package deliberately exposes only the :data:`~repro.perf.fastpath.FASTPATH`
+flag at import time — the benchmark harness (:mod:`repro.perf.bench`) pulls
+in the whole scenario stack and must be imported explicitly so low layers
+(:mod:`repro.des`, :mod:`repro.net`) can import the flag without a cycle.
+"""
+
+from repro.perf.fastpath import FASTPATH, fastpath_enabled
+
+__all__ = ["FASTPATH", "fastpath_enabled"]

@@ -1,0 +1,206 @@
+"""Wall-clock benchmark harness behind ``ebl-sim bench`` / ``make bench``.
+
+Runs the paper's canonical Trial 1-3 configurations under
+``time.perf_counter``, recording for each trial:
+
+* best-of-N wall-clock seconds (minimum is the standard noise filter),
+* kernel events processed and events/second,
+* channel transmissions (packets offered) and packets/second,
+* process peak RSS.
+
+Reports are schema-versioned JSON (``repro-bench/v1``) so a checked-in
+baseline stays comparable across harness changes, and
+:func:`compare_reports` turns two reports into a list of regressions —
+the CLI exits non-zero when any trial slowed down by more than the
+threshold (15% by default), which is what the CI bench step gates on.
+
+Timestamps are deliberately absent: two benches of the same tree must
+produce byte-identical JSON apart from the measured numbers.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from typing import Any, Iterable, Optional
+
+from repro.core.runner import run_trial
+from repro.core.trials import TRIAL_1, TRIAL_2, TRIAL_3, TrialConfig
+from repro.perf.fastpath import fastpath_enabled
+
+try:  # pragma: no cover - resource is POSIX-only
+    import resource
+except ImportError:  # pragma: no cover
+    resource = None  # type: ignore[assignment]
+
+#: Report schema identifier; bump when the JSON layout changes.
+SCHEMA = "repro-bench/v1"
+
+#: Trials benched, keyed by the name used in the report.
+BENCH_TRIALS: dict[str, TrialConfig] = {
+    "trial1": TRIAL_1,
+    "trial2": TRIAL_2,
+    "trial3": TRIAL_3,
+}
+
+#: Named profiles: ``smoke`` keeps CI fast, ``paper`` uses the paper's
+#: trial durations (trial 3 shortened — 802.11 contention makes it the
+#: slowest by far and 20 s already yields stable rates).
+PROFILES: dict[str, dict[str, Any]] = {
+    "smoke": {
+        "repeats": 1,
+        "durations": {"trial1": 6.0, "trial2": 6.0, "trial3": 4.0},
+    },
+    "paper": {
+        "repeats": 3,
+        "durations": {"trial1": 60.0, "trial2": 60.0, "trial3": 20.0},
+    },
+}
+
+#: Relative slowdown tolerated before ``--compare`` fails.
+DEFAULT_THRESHOLD = 0.15
+
+
+def _peak_rss_kb() -> Optional[int]:
+    """Process high-water RSS in KiB (None where unsupported)."""
+    if resource is None:  # pragma: no cover - non-POSIX
+        return None
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - macOS reports bytes
+        peak //= 1024
+    return peak
+
+
+def bench_trial(
+    config: TrialConfig, duration: float, repeats: int
+) -> dict[str, Any]:
+    """Benchmark one trial config, returning its report entry."""
+    cfg = config.with_overrides(duration=duration, enable_trace=False)
+    best_wall = float("inf")
+    events = 0
+    packets = 0
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()  # simlint: disable=SIM002
+        result = run_trial(cfg)
+        wall = time.perf_counter() - start  # simlint: disable=SIM002
+        if wall < best_wall:
+            best_wall = wall
+            scenario = result.scenario
+            events = scenario.env.events_processed if scenario else 0
+            packets = scenario.channel.transmissions if scenario else 0
+    return {
+        "duration_s": duration,
+        "repeats": max(1, repeats),
+        "wall_s": best_wall,
+        "events": events,
+        "events_per_sec": events / best_wall if best_wall > 0 else 0.0,
+        "packets": packets,
+        "packets_per_sec": packets / best_wall if best_wall > 0 else 0.0,
+        "peak_rss_kb": _peak_rss_kb(),
+    }
+
+
+def run_bench(
+    profile: str = "paper",
+    repeats: Optional[int] = None,
+    duration: Optional[float] = None,
+    trials: Optional[Iterable[str]] = None,
+) -> dict[str, Any]:
+    """Run the bench suite and return the full report dict."""
+    if profile not in PROFILES:
+        raise ValueError(f"unknown bench profile {profile!r}")
+    settings = PROFILES[profile]
+    names = list(trials) if trials is not None else list(BENCH_TRIALS)
+    unknown = [n for n in names if n not in BENCH_TRIALS]
+    if unknown:
+        raise ValueError(f"unknown bench trials: {unknown}")
+    report: dict[str, Any] = {
+        "schema": SCHEMA,
+        "profile": profile,
+        "fastpath": fastpath_enabled(),
+        "python": "%d.%d.%d" % sys.version_info[:3],
+        "trials": {},
+    }
+    for name in names:
+        report["trials"][name] = bench_trial(
+            BENCH_TRIALS[name],
+            duration if duration is not None else settings["durations"][name],
+            repeats if repeats is not None else settings["repeats"],
+        )
+    return report
+
+
+def write_report(report: dict[str, Any], path: str) -> None:
+    """Write ``report`` as stable, human-diffable JSON."""
+    with open(path, "w") as stream:
+        json.dump(report, stream, indent=2, sort_keys=True)
+        stream.write("\n")
+
+
+def load_report(path: str) -> dict[str, Any]:
+    """Load a report, rejecting unknown schema versions."""
+    with open(path) as stream:
+        report = json.load(stream)
+    schema = report.get("schema")
+    if schema != SCHEMA:
+        raise ValueError(
+            f"{path}: unsupported bench schema {schema!r} (expected {SCHEMA!r})"
+        )
+    return report
+
+
+def compare_reports(
+    current: dict[str, Any],
+    baseline: dict[str, Any],
+    threshold: float = DEFAULT_THRESHOLD,
+) -> list[str]:
+    """Regression messages for trials slower than ``baseline`` by > threshold.
+
+    A trial regresses when wall-clock grew or events/sec shrank by more
+    than ``threshold`` relative to the baseline.  Trials present in only
+    one report are ignored (profiles may differ in coverage).
+    """
+    regressions: list[str] = []
+    for name, base in sorted(baseline.get("trials", {}).items()):
+        cur = current.get("trials", {}).get(name)
+        if cur is None:
+            continue
+        base_wall = base.get("wall_s")
+        cur_wall = cur.get("wall_s")
+        if base_wall and cur_wall and cur_wall > base_wall * (1 + threshold):
+            regressions.append(
+                f"{name}: wall {cur_wall:.3f}s vs baseline {base_wall:.3f}s "
+                f"(+{100 * (cur_wall / base_wall - 1):.1f}% > "
+                f"{100 * threshold:.0f}%)"
+            )
+        base_eps = base.get("events_per_sec")
+        cur_eps = cur.get("events_per_sec")
+        if base_eps and cur_eps and cur_eps < base_eps / (1 + threshold):
+            regressions.append(
+                f"{name}: {cur_eps:,.0f} events/s vs baseline "
+                f"{base_eps:,.0f} "
+                f"(-{100 * (1 - cur_eps / base_eps):.1f}% > "
+                f"{100 * threshold:.0f}%)"
+            )
+    return regressions
+
+
+def format_report(report: dict[str, Any]) -> str:
+    """Human-readable table of a bench report."""
+    lines = [
+        f"bench profile={report['profile']} "
+        f"fastpath={'on' if report['fastpath'] else 'off'} "
+        f"python={report['python']}",
+        f"{'trial':>8} {'sim s':>7} {'wall s':>8} {'events/s':>12} "
+        f"{'packets/s':>10} {'rss MB':>7}",
+    ]
+    for name, entry in sorted(report["trials"].items()):
+        rss = entry.get("peak_rss_kb")
+        lines.append(
+            f"{name:>8} {entry['duration_s']:7.1f} {entry['wall_s']:8.3f} "
+            f"{entry['events_per_sec']:12,.0f} "
+            f"{entry['packets_per_sec']:10,.0f} "
+            f"{(rss / 1024 if rss else 0):7.1f}"
+        )
+    return "\n".join(lines)

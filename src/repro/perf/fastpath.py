@@ -1,0 +1,38 @@
+"""The fast-path feature gate.
+
+Every profile-guided optimization in the simulator (``__slots__`` layouts,
+the inlined event loop, link-budget caching in the channel, trampoline
+delivery events, compiled header copiers) is keyed off one flag read here
+at import time.  Setting ``REPRO_NO_FASTPATH=1`` in the environment before
+importing :mod:`repro` switches every layer back to its straight-line
+reference implementation.
+
+The two modes are required to be observably identical: fixed-seed runs
+must produce bit-identical packet event traces and metric summaries in
+both.  ``tests/perf/test_differential.py`` enforces this by running the
+same seeded scenario in a ``REPRO_NO_FASTPATH=1`` subprocess and comparing
+digests, so a fast-path change that alters physics cannot land silently.
+
+The flag is module-level (not per-call) on purpose: the optimizations
+change class layouts and bound methods, which can only be decided once,
+when the classes are defined.
+"""
+
+from __future__ import annotations
+
+import os
+
+_FALSEY = ("", "0", "false", "no", "off")
+
+
+def _disabled_by_env() -> bool:
+    return os.environ.get("REPRO_NO_FASTPATH", "").strip().lower() not in _FALSEY
+
+
+#: True when the optimized code paths are active (the default).
+FASTPATH: bool = not _disabled_by_env()
+
+
+def fastpath_enabled() -> bool:
+    """Whether this process runs the optimized paths (for bench metadata)."""
+    return FASTPATH

@@ -19,6 +19,12 @@ SPEED_OF_LIGHT = 299_792_458.0
 class PropagationModel:
     """Base class for propagation models."""
 
+    #: True when ``rx_power`` is a pure function of its arguments.  The
+    #: channel's fast-path link cache only memoises deterministic models —
+    #: caching a stochastic model would skip its per-call RNG draws and
+    #: change the random stream.  Stochastic subclasses must override this.
+    deterministic = True
+
     def rx_power(
         self,
         tx_power: float,
@@ -96,11 +102,22 @@ class TwoRayGround(PropagationModel):
     ``Pr = Pt·Gt·Gr·ht²·hr² / (d⁴·L)``.
     """
 
+    def __init__(self) -> None:
+        # Geometry is fixed per radio profile, so the crossover for a given
+        # (wavelength, heights) triple is computed once; rx_power runs per
+        # receiver per transmission.
+        self._crossover_memo: dict[tuple[float, float, float], float] = {}
+
     def crossover_distance(
         self, wavelength: float, tx_height: float = 1.5, rx_height: float = 1.5
     ) -> float:
         """Distance where the two-ray term takes over from Friis."""
-        return 4.0 * math.pi * tx_height * rx_height / wavelength
+        key = (wavelength, tx_height, rx_height)
+        crossover = self._crossover_memo.get(key)
+        if crossover is None:
+            crossover = 4.0 * math.pi * tx_height * rx_height / wavelength
+            self._crossover_memo[key] = crossover
+        return crossover
 
     def rx_power(
         self,
@@ -153,6 +170,9 @@ class LogNormalShadowing(PropagationModel):
         self.sigma_db = sigma_db
         self.reference_distance = reference_distance
         self._rng = rng or random.Random(0)
+        # With shadowing noise every call draws from the RNG; caching
+        # would freeze the fade and starve the stream.
+        self.deterministic = sigma_db == 0
 
     def rx_power(
         self,

@@ -11,8 +11,9 @@ import math
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Optional
 
-from repro.des.events import Event
+from repro.des.events import DeferredCall, Event
 from repro.net.packet import Packet
+from repro.perf.fastpath import FASTPATH
 from repro.phy.propagation import SPEED_OF_LIGHT, PropagationModel, TwoRayGround
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -62,6 +63,10 @@ class RadioParams:
     rate_sensitivity_db: dict = field(
         default_factory=lambda: {1e6: -3.0, 2e6: 0.0, 5.5e6: 4.0, 11e6: 6.0}
     )
+    #: Memo of ``10 ** (offset_db / 10)`` per rate — the threshold lookup
+    #: runs once per signal classified, and the power-of-ten is constant
+    #: for a given sensitivity table.
+    _rate_factor_memo: dict = field(default_factory=dict, init=False, repr=False)
 
     @property
     def wavelength(self) -> float:
@@ -72,11 +77,15 @@ class RadioParams:
         """Decode threshold for a frame sent at ``rate`` bit/s."""
         if rate is None:
             return self.rx_threshold
-        offset_db = self.rate_sensitivity_db.get(rate, 0.0)
-        return self.rx_threshold * 10.0 ** (offset_db / 10.0)
+        factor = self._rate_factor_memo.get(rate)
+        if factor is None:
+            offset_db = self.rate_sensitivity_db.get(rate, 0.0)
+            factor = 10.0 ** (offset_db / 10.0)
+            self._rate_factor_memo[rate] = factor
+        return self.rx_threshold * factor
 
 
-@dataclass
+@(dataclass(slots=True) if FASTPATH else dataclass)
 class _Signal:
     """One signal currently on the air at this receiver."""
 
@@ -125,6 +134,10 @@ class WirelessPhy:
         #: transmit/receive airtime.
         self.energy = None
         self._signals: list[_Signal] = []
+        #: Fast path: ``(time, position)`` memo for :attr:`position`.
+        #: Mobility models are functional — ``position(t)`` has no side
+        #: effects — so within one timestep the answer cannot change.
+        self._pos_memo: Optional[tuple[float, tuple[float, float]]] = None
         self._current: Optional[_Signal] = None
         self._tx_end_time = 0.0
         self._idle_waiters: list[Event] = []
@@ -148,6 +161,14 @@ class WirelessPhy:
     @property
     def position(self) -> tuple[float, float]:
         """Current antenna position (metres)."""
+        if FASTPATH:
+            memo = self._pos_memo
+            now = self.env.now
+            if memo is not None and memo[0] == now:
+                return memo[1]
+            pos = self.position_fn()
+            self._pos_memo = (now, pos)
+            return pos
         return self.position_fn()
 
     def distance_to(self, other: "WirelessPhy") -> float:
@@ -186,7 +207,8 @@ class WirelessPhy:
     @property
     def medium_busy(self) -> bool:
         """True if we are transmitting or sensing any signal energy."""
-        return self.transmitting or bool(self._signals)
+        # ``transmitting`` inlined: this is polled from every MAC wait loop.
+        return bool(self._signals) or self.env.now < self._tx_end_time
 
     def wait_idle(self) -> Event:
         """Event that fires as soon as the medium is (or becomes) idle."""
@@ -227,7 +249,10 @@ class WirelessPhy:
             self.energy.note_tx(duration)
         self.channel.transmit(self, pkt, duration)
         # Wake idle waiters when our own transmission completes.
-        self.env.process(self._tx_done(duration))
+        if FASTPATH:
+            DeferredCall(self.env, duration, self._notify_if_idle)
+        else:
+            self.env.process(self._tx_done(duration))
 
     def _tx_done(self, duration: float):
         yield self.env.timeout(duration)
@@ -255,7 +280,12 @@ class WirelessPhy:
             self._classify_sinr(signal)
         else:
             self._classify(signal)
-        self.env.process(self._signal_lifetime(signal, duration))
+        if FASTPATH:
+            DeferredCall(
+                self.env, duration, lambda: self._end_signal(signal, duration)
+            )
+        else:
+            self.env.process(self._signal_lifetime(signal, duration))
 
     def _interference_for(self, signal: _Signal) -> float:
         """Noise floor plus the power of every *other* signal on the air."""
@@ -333,6 +363,10 @@ class WirelessPhy:
 
     def _signal_lifetime(self, signal: _Signal, duration: float):
         yield self.env.timeout(duration)
+        self._end_signal(signal, duration)
+
+    def _end_signal(self, signal: _Signal, duration: float) -> None:
+        """Retire ``signal`` when its last bit leaves the air."""
         self._signals.remove(signal)
         if not self.up:
             # The node crashed mid-reception: no MAC upcalls, no energy

@@ -4,6 +4,16 @@ from __future__ import annotations
 
 import pytest
 
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="regenerate the tests/golden/*.json snapshots from the current "
+        "code instead of comparing against them",
+    )
+
 from repro.des import Environment
 from repro.mac.csma import CsmaMac
 from repro.mac.dcf import Dcf80211Mac

@@ -1,15 +1,59 @@
 """Smoke tests: every shipped example must run clean end to end.
 
-Each example accepts a duration (or size) argument so these runs stay
-short; the assertions check the narrative outputs, not timing.
+The example scripts are discovered from ``examples/`` automatically, so
+adding a script without registering its (short) CLI arguments here fails
+the suite — an unsmoked example is a broken promise to readers.  Each
+entry keeps the run short via the script's duration/size arguments; the
+content checks assert the narrative output, not timing.
 """
+
+from __future__ import annotations
 
 import subprocess
 import sys
 from pathlib import Path
 
+import pytest
 
 EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+#: Per-script short-run arguments.  Every script in examples/ MUST have
+#: an entry (enforced by test_every_example_is_registered).
+EXAMPLE_ARGS: dict[str, tuple] = {
+    "quickstart.py": (12,),
+    "intersection_ebl.py": (15,),
+    "mac_comparison.py": (12,),
+    "packet_size_study.py": (10,),
+    "highway_chain_braking.py": (5,),
+    "urban_grid_aodv.py": (8, 7, 20),
+    "dsrc_reliability_study.py": (10,),
+}
+
+#: Expected narrative fragments per script (subset of stdout).
+EXPECTED_OUTPUT: dict[str, tuple[str, ...]] = {
+    "quickstart.py": ("One-way delay (platoon 1)", "Safety", "SAFE"),
+    "intersection_ebl.py": (
+        "trial1",
+        "trial3",
+        "MAC type (TDMA",
+        "802.11 wins both",
+        "Conclusion",
+    ),
+    "mac_comparison.py": (
+        "Throughput (platoon 1, Mbps):",
+        "tdma-16",
+        "csma",
+        "802.11",
+    ),
+    "packet_size_study.py": ("bytes", "best", "1500"),
+    "highway_chain_braking.py": ("EBL over 802.11", "CRASH", "EBL: 0"),
+    "urban_grid_aodv.py": (
+        "Packet delivery ratio",
+        "AODV overhead",
+        "route discoveries",
+    ),
+    "dsrc_reliability_study.py": ("p99 ms", "uniform", "bursty", "J/Mbit"),
+}
 
 
 def run_example(name, *args, timeout=300):
@@ -19,55 +63,29 @@ def run_example(name, *args, timeout=300):
         text=True,
         timeout=timeout,
     )
-    assert result.returncode == 0, result.stderr
+    assert result.returncode == 0, (
+        f"{name} exited with {result.returncode}:\n{result.stderr}"
+    )
     return result.stdout
 
 
-def test_quickstart():
-    out = run_example("quickstart.py", 12)
-    assert "One-way delay (platoon 1)" in out
-    assert "Safety" in out
-    assert "SAFE" in out
+def test_every_example_is_registered():
+    """Each examples/*.py script must have a smoke-test argument entry."""
+    discovered = {p.name for p in EXAMPLES.glob("*.py")}
+    assert discovered, f"no example scripts found under {EXAMPLES}"
+    unregistered = discovered - set(EXAMPLE_ARGS)
+    assert not unregistered, (
+        f"examples without a smoke-test entry: {sorted(unregistered)}; "
+        f"add their short-run arguments to EXAMPLE_ARGS in {__file__}"
+    )
+    stale = set(EXAMPLE_ARGS) - discovered
+    assert not stale, f"EXAMPLE_ARGS lists removed examples: {sorted(stale)}"
 
 
-def test_intersection_ebl():
-    out = run_example("intersection_ebl.py", 15)
-    assert "trial1" in out and "trial3" in out
-    assert "MAC type (TDMA" in out
-    assert "802.11 wins both" in out
-    assert "Conclusion" in out
-
-
-def test_mac_comparison():
-    out = run_example("mac_comparison.py", 12)
-    assert "Throughput (platoon 1, Mbps):" in out
-    assert "tdma-16" in out and "csma" in out
-    assert "802.11" in out
-
-
-def test_packet_size_study():
-    out = run_example("packet_size_study.py", 10)
-    assert "bytes" in out
-    assert "best" in out
-    assert "1500" in out
-
-
-def test_highway_chain_braking():
-    out = run_example("highway_chain_braking.py", 5)
-    assert "EBL over 802.11" in out
-    assert "CRASH" in out  # conventional chain collides
-    assert "EBL: 0" in out  # EBL saves everyone
-
-
-def test_urban_grid_aodv():
-    out = run_example("urban_grid_aodv.py", 8, 7, 20)
-    assert "Packet delivery ratio" in out
-    assert "AODV overhead" in out
-    assert "route discoveries" in out
-
-
-def test_dsrc_reliability_study():
-    out = run_example("dsrc_reliability_study.py", 10)
-    assert "p99 ms" in out
-    assert "uniform" in out and "bursty" in out
-    assert "J/Mbit" in out
+@pytest.mark.parametrize("name", sorted(EXAMPLE_ARGS))
+def test_example_runs_clean(name):
+    out = run_example(name, *EXAMPLE_ARGS[name])
+    for fragment in EXPECTED_OUTPUT.get(name, ()):
+        assert fragment in out, (
+            f"{name} output lost the fragment {fragment!r}"
+        )

@@ -1,0 +1,165 @@
+"""Tests for the wall-clock bench harness (``ebl-sim bench``)."""
+
+from __future__ import annotations
+
+import copy
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.perf.bench import (
+    SCHEMA,
+    compare_reports,
+    format_report,
+    load_report,
+    run_bench,
+    write_report,
+)
+
+
+@pytest.fixture(scope="module")
+def smoke_report():
+    """One tiny shared bench run (module-scoped: real trials execute)."""
+    return run_bench(profile="smoke", duration=2.0, repeats=1)
+
+
+def test_report_schema_and_metrics(smoke_report):
+    assert smoke_report["schema"] == SCHEMA
+    assert smoke_report["profile"] == "smoke"
+    assert isinstance(smoke_report["fastpath"], bool)
+    assert set(smoke_report["trials"]) == {"trial1", "trial2", "trial3"}
+    for entry in smoke_report["trials"].values():
+        assert entry["wall_s"] > 0
+        assert entry["events"] > 0
+        assert entry["packets"] > 0
+        assert entry["events_per_sec"] == entry["events"] / entry["wall_s"]
+        assert entry["packets_per_sec"] == entry["packets"] / entry["wall_s"]
+        assert entry["repeats"] == 1
+        assert entry["duration_s"] == 2.0
+
+
+def test_report_round_trips_through_json(tmp_path, smoke_report):
+    path = tmp_path / "BENCH_trials.json"
+    write_report(smoke_report, str(path))
+    assert load_report(str(path)) == smoke_report
+    # The file is plain, stable JSON (sorted keys, trailing newline).
+    text = path.read_text()
+    assert text.endswith("\n")
+    assert json.loads(text) == smoke_report
+
+
+def test_load_rejects_unknown_schema(tmp_path, smoke_report):
+    doctored = dict(smoke_report, schema="repro-bench/v999")
+    path = tmp_path / "bad.json"
+    path.write_text(json.dumps(doctored))
+    with pytest.raises(ValueError, match="unsupported bench schema"):
+        load_report(str(path))
+
+
+def test_unknown_profile_and_trial_rejected():
+    with pytest.raises(ValueError, match="unknown bench profile"):
+        run_bench(profile="warp")
+    with pytest.raises(ValueError, match="unknown bench trials"):
+        run_bench(profile="smoke", trials=["trial9"])
+
+
+def test_compare_passes_against_itself(smoke_report):
+    assert compare_reports(smoke_report, smoke_report) == []
+
+
+def test_compare_flags_wall_clock_regression(smoke_report):
+    # Injected >15% slowdown: pretend the baseline was 10x faster.
+    baseline = copy.deepcopy(smoke_report)
+    for entry in baseline["trials"].values():
+        entry["wall_s"] /= 10.0
+        entry["events_per_sec"] *= 10.0
+    regressions = compare_reports(smoke_report, baseline, threshold=0.15)
+    assert len(regressions) == 2 * len(smoke_report["trials"])
+    assert any("wall" in r for r in regressions)
+    assert any("events/s" in r for r in regressions)
+
+
+def test_compare_tolerates_noise_within_threshold(smoke_report):
+    baseline = copy.deepcopy(smoke_report)
+    for entry in baseline["trials"].values():
+        entry["wall_s"] /= 1.10  # 10% slower than baseline: within 15%
+        entry["events_per_sec"] *= 1.10
+    assert compare_reports(smoke_report, baseline, threshold=0.15) == []
+
+
+def test_compare_ignores_trials_missing_from_either_side(smoke_report):
+    baseline = copy.deepcopy(smoke_report)
+    only_one = {"schema": SCHEMA, "trials": {"trial1": baseline["trials"]["trial1"]}}
+    assert compare_reports(only_one, smoke_report) == []
+    assert compare_reports(smoke_report, only_one) == []
+
+
+def test_format_report_is_printable(smoke_report):
+    text = format_report(smoke_report)
+    assert "trial1" in text and "events/s" in text
+
+
+def test_cli_bench_compare_exits_nonzero_on_regression(tmp_path, capsys):
+    """ISSUE acceptance: --compare exits non-zero on injected slowdown."""
+    report = run_bench(profile="smoke", duration=1.0, repeats=1)
+    baseline = copy.deepcopy(report)
+    for entry in baseline["trials"].values():
+        entry["wall_s"] /= 10.0
+        entry["events_per_sec"] *= 10.0
+    path = tmp_path / "doctored_baseline.json"
+    path.write_text(json.dumps(baseline))
+    code = main(
+        [
+            "bench",
+            "--profile",
+            "smoke",
+            "--duration",
+            "1.0",
+            "--repeat",
+            "1",
+            "--compare",
+            str(path),
+        ]
+    )
+    assert code == 1
+    assert "PERFORMANCE REGRESSION" in capsys.readouterr().out
+
+
+def test_cli_bench_writes_report_and_passes_honest_compare(tmp_path, capsys):
+    out = tmp_path / "BENCH_trials.json"
+    code = main(
+        [
+            "bench",
+            "--profile",
+            "smoke",
+            "--duration",
+            "1.0",
+            "--repeat",
+            "1",
+            "--output",
+            str(out),
+        ]
+    )
+    assert code == 0
+    report = load_report(str(out))
+    assert report["schema"] == SCHEMA
+    # Comparing a fresh run against that report passes with headroom: the
+    # gate allows 15% and back-to-back runs differ far less.
+    code = main(
+        [
+            "bench",
+            "--profile",
+            "smoke",
+            "--duration",
+            "1.0",
+            "--repeat",
+            "1",
+            "--threshold",
+            "3.0",
+            "--compare",
+            str(out),
+        ]
+    )
+    assert code == 0
+    assert "no regression" in capsys.readouterr().out
