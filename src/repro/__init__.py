@@ -12,10 +12,46 @@ The package is layered bottom-up:
 * :mod:`repro.mobility` — waypoint/platoon vehicle motion.
 * :mod:`repro.trace` — ns-2-style trace emission and parsing.
 * :mod:`repro.stats` — delay/throughput metrics and confidence analysis.
+* :mod:`repro.obs` — cross-layer telemetry: metric registry, packet
+  journeys, run introspection (no-op unless a trial enables it).
 * :mod:`repro.core` — the EBL scenario, trials, runner, and safety analysis.
 * :mod:`repro.experiments` — per-figure/table reproduction harness.
+
+The top-level namespace lazily re-exports the observability entry points
+(:class:`~repro.obs.MetricRegistry`, :class:`~repro.obs.JourneyTracker`,
+:class:`~repro.obs.ObservabilityConfig`, :class:`~repro.obs.Observability`)
+so telemetry consumers do not need to know the submodule layout; the
+import is deferred (PEP 562) to keep ``import repro`` free of any stack
+machinery.
 """
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - static-analysis aliases only
+    from repro.obs import (  # noqa: F401
+        JourneyTracker,
+        MetricRegistry,
+        Observability,
+        ObservabilityConfig,
+    )
 
 __version__ = "1.0.0"
 
-__all__ = ["__version__"]
+#: Names resolved lazily from :mod:`repro.obs` on first attribute access.
+_OBS_EXPORTS = frozenset(
+    {"MetricRegistry", "JourneyTracker", "ObservabilityConfig", "Observability"}
+)
+
+__all__ = ["__version__", *sorted(_OBS_EXPORTS)]
+
+
+def __getattr__(name: str):
+    if name in _OBS_EXPORTS:
+        from repro import obs
+
+        return getattr(obs, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__() -> list:
+    return sorted(set(globals()) | _OBS_EXPORTS)

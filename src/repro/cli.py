@@ -7,7 +7,8 @@ Subcommands::
     ebl-sim sweep {packet-size,platoon-size,tdma-slots}
     ebl-sim campaign --trial 1 --seeds 5 --fault-plan light [--resume]
     ebl-sim bench [--profile smoke|paper] [--output BENCH_trials.json]
-                  [--compare BASELINE]
+                  [--compare BASELINE] [--observe]
+    ebl-sim inspect --trial 1 [--export PREFIX]
     ebl-sim lint [paths ...]
 """
 
@@ -197,7 +198,13 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         fault_plan=FAULT_PLAN_PRESETS[args.fault_plan],
         inject_crash=args.inject_crash,
         inject_hang=args.inject_hang,
+        heartbeat_dir=args.heartbeat_dir,
+        heartbeat_interval=args.heartbeat_interval,
     )
+    if args.heartbeat_dir:
+        import os
+
+        os.makedirs(args.heartbeat_dir, exist_ok=True)
 
     def progress(outcome) -> None:
         note = " (resumed)" if outcome.resumed else f" in {outcome.elapsed:.1f}s"
@@ -243,7 +250,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     )
 
     report = run_bench(
-        profile=args.profile, repeats=args.repeat, duration=args.duration
+        profile=args.profile,
+        repeats=args.repeat,
+        duration=args.duration,
+        observe=args.observe,
     )
     print(format_report(report))
     if args.output:
@@ -263,6 +273,104 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             f"no regression vs {args.compare} "
             f"(threshold {100 * args.threshold:.0f}%)"
         )
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    from repro.obs.config import ObservabilityConfig
+    from repro.obs.export import (
+        render_dwell_table,
+        render_journey,
+        render_journeys_summary,
+        render_metrics_table,
+        write_heartbeats_jsonl,
+        write_journeys_csv,
+        write_journeys_jsonl,
+        write_metrics_csv,
+        write_metrics_jsonl,
+    )
+
+    config = TRIALS[args.trial].with_overrides(
+        duration=args.duration,
+        observability=ObservabilityConfig(
+            heartbeat_interval=args.heartbeat_interval
+        ),
+    )
+    result = run_trial(config)
+    obs = result.observability
+    assert obs is not None and obs.registry is not None  # config enables both
+    print(
+        f"== inspect {config.name}: {config.packet_size}B over "
+        f"{config.mac_type}, {config.duration:g}s simulated =="
+    )
+    print()
+    print(render_metrics_table(obs.registry))
+    journeys = obs.journeys
+    if journeys is not None:
+        dwell = journeys.dwell_summary()
+        if dwell:
+            print()
+            print("per-layer dwell over delivered data journeys:")
+            print(render_dwell_table(dwell))
+        # The initial warning packet of each lead->follower flow: the
+        # first delivered data journey (trackers record in first-seen
+        # order, so the first match is the earliest).
+        for platoon in (result.platoon1, result.platoon2):
+            for flow in platoon.flows:
+                first = next(
+                    (
+                        j
+                        for j in journeys.find(
+                            src=flow.src, dst=flow.dst, delivered=True
+                        )
+                        if j.ptype in ("tcp", "udp", "cbr", "ebl")
+                    ),
+                    None,
+                )
+                if first is not None:
+                    print()
+                    print(
+                        f"initial warning packet, platoon "
+                        f"{platoon.platoon_id} flow "
+                        f"{flow.src}->{flow.dst}:"
+                    )
+                    print(render_journey(first))
+        summary = render_journeys_summary(journeys, slowest=args.slowest)
+        if summary is not None:
+            print()
+            print(summary)
+    if obs.introspector is not None and obs.introspector.records:
+        last = obs.introspector.records[-1]
+        print()
+        print(
+            f"{len(obs.introspector.records)} heartbeats; last: "
+            f"sim_time={last['sim_time']:g}s events={last['events']} "
+            f"events/wall-s={last['events_per_wall_s']:,.0f}"
+        )
+    if args.export:
+        prefix = args.export
+        counts = {
+            f"{prefix}.metrics.jsonl": write_metrics_jsonl(
+                obs.registry, f"{prefix}.metrics.jsonl"
+            ),
+            f"{prefix}.metrics.csv": write_metrics_csv(
+                obs.registry, f"{prefix}.metrics.csv"
+            ),
+        }
+        if journeys is not None:
+            counts[f"{prefix}.journeys.jsonl"] = write_journeys_jsonl(
+                journeys, f"{prefix}.journeys.jsonl"
+            )
+            counts[f"{prefix}.journeys.csv"] = write_journeys_csv(
+                journeys, f"{prefix}.journeys.csv"
+            )
+        if obs.introspector is not None:
+            counts[f"{prefix}.heartbeat.jsonl"] = write_heartbeats_jsonl(
+                obs.introspector.records, f"{prefix}.heartbeat.jsonl"
+            )
+        print()
+        for path, count in counts.items():
+            print(f"wrote {count} records -> {path}")
     return 0
 
 
@@ -345,6 +453,13 @@ def build_parser() -> argparse.ArgumentParser:
     camp_p.add_argument("--inject-hang", action="store_true",
                         help="add a synthetic hung trial that must hit the "
                         "watchdog")
+    camp_p.add_argument("--heartbeat-dir", default=None,
+                        help="run each trial with a heartbeat introspector "
+                        "appending to DIR/<key>.heartbeat.jsonl (the "
+                        "watchdog then reports a killed trial's progress)")
+    camp_p.add_argument("--heartbeat-interval", type=float, default=1.0,
+                        help="sim-time seconds between heartbeats "
+                        "(default 1.0)")
     camp_p.set_defaults(func=_cmd_campaign)
 
     bench_p = sub.add_parser(
@@ -376,12 +491,39 @@ def build_parser() -> argparse.ArgumentParser:
         "--threshold", type=float, default=DEFAULT_THRESHOLD,
         help="relative slowdown tolerated by --compare (default 0.15)",
     )
+    bench_p.add_argument(
+        "--observe", action="store_true",
+        help="bench with the metric registry and journey tracker enabled "
+        "(measures observability overhead; report includes metrics)",
+    )
     bench_p.set_defaults(func=_cmd_bench)
+
+    ins_p = sub.add_parser(
+        "inspect",
+        help="run a trial with full telemetry and render its metrics, "
+        "per-layer dwell times, and packet journeys",
+    )
+    ins_p.add_argument("--trial", type=int, choices=(1, 2, 3), default=1)
+    ins_p.add_argument("--duration", type=float, default=30.0)
+    ins_p.add_argument(
+        "--heartbeat-interval", type=float, default=1.0,
+        help="sim-time seconds between introspector heartbeats (default 1.0)",
+    )
+    ins_p.add_argument(
+        "--slowest", type=int, default=5,
+        help="how many slowest journeys to list (default 5)",
+    )
+    ins_p.add_argument(
+        "--export", metavar="PREFIX",
+        help="also write PREFIX.metrics.{jsonl,csv}, "
+        "PREFIX.journeys.{jsonl,csv}, and PREFIX.heartbeat.jsonl",
+    )
+    ins_p.set_defaults(func=_cmd_inspect)
 
     lint_p = sub.add_parser(
         "lint",
         help="run simlint, the determinism/scheduling static analysis "
-        "(rules SIM001-SIM007)",
+        "(rules SIM001-SIM008)",
     )
     lint_p.add_argument(
         "paths",

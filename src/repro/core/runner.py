@@ -9,6 +9,7 @@ from repro.core.scenario import EblScenario, ScenarioGeometry
 from repro.core.trials import TrialConfig
 from repro.faults.injector import FaultLogEntry
 from repro.faults.schedule import FaultSchedule
+from repro.obs.runtime import Observability
 from repro.stats.confidence import ConfidenceResult, mean_confidence_interval
 from repro.stats.delay import DelaySeries
 from repro.stats.summary import SeriesSummary
@@ -90,6 +91,8 @@ class TrialResult:
     #: What the fault injector actually did, in time order (empty when the
     #: trial ran on the paper's clean network).
     fault_log: list[FaultLogEntry] = field(default_factory=list)
+    #: Cross-layer telemetry (None unless the config enabled it).
+    observability: Optional[Observability] = field(repr=False, default=None)
 
     def platoon(self, platoon_id: int) -> PlatoonResult:
         """Platoon result by id (1 or 2)."""
@@ -188,4 +191,5 @@ def harvest(scenario: EblScenario) -> TrialResult:
         tracer=scenario.tracer,
         scenario=scenario,
         fault_log=list(injector.log) if injector is not None else [],
+        observability=scenario.observability,
     )

@@ -36,6 +36,7 @@ from repro.mobility.platoon import Platoon, PlatoonSpec
 from repro.net.channel import WirelessChannel
 from repro.net.node import Node
 from repro.net.queues import DropTailQueue, PriQueue, REDQueue
+from repro.obs.runtime import Observability
 from repro.phy.energy import EnergyModel
 from repro.phy.error_models import GilbertElliotErrorModel, UniformErrorModel
 from repro.phy.radio import RadioParams
@@ -72,17 +73,33 @@ class EblScenario:
         self.geometry = geometry or ScenarioGeometry()
         self.env = Environment()
         self.tracer = Tracer() if config.enable_trace else None
-        self.channel = WirelessChannel(self.env)
-        # Scenario-level stream; components below derive their own named
-        # streams so no two instances ever share a sequence (see
-        # repro.core.seeding for the convention).
-        self._rng = derive_rng(config.seed, "scenario")
+        # Observability is activated for the span of stack construction
+        # only: components bind their instruments as they are built (the
+        # channel below is instrumented too, hence activation comes
+        # first), and the ``finally`` guarantees no registry leaks into a
+        # later scenario built in the same process.
+        self.observability = (
+            Observability(config.observability, self.env)
+            if config.observability is not None
+            else None
+        )
+        if self.observability is not None:
+            self.observability.activate()
+        try:
+            self.channel = WirelessChannel(self.env)
+            # Scenario-level stream; components below derive their own named
+            # streams so no two instances ever share a sequence (see
+            # repro.core.seeding for the convention).
+            self._rng = derive_rng(config.seed, "scenario")
 
-        self._build_platoons()
-        self._build_nodes()
-        self._build_applications()
-        self._schedule_movements()
-        self._build_faults(fault_schedule)
+            self._build_platoons()
+            self._build_nodes()
+            self._build_applications()
+            self._schedule_movements()
+            self._build_faults(fault_schedule)
+        finally:
+            if self.observability is not None:
+                self.observability.deactivate()
 
     # -- construction ---------------------------------------------------------
 
@@ -332,6 +349,8 @@ class EblScenario:
         self.recorder2.start()
         if self.fault_injector is not None:
             self.fault_injector.start()
+        if self.observability is not None:
+            self.observability.start()
 
     def run(self) -> None:
         """Start and run to the configured duration."""

@@ -20,6 +20,7 @@ from typing import Optional
 
 from repro.faults.schedule import FaultPlan
 from repro.mobility.kinematics import mph_to_mps
+from repro.obs.config import ObservabilityConfig
 
 #: Valid MAC selections.
 MAC_TYPES = ("tdma", "802.11", "csma", "edca")
@@ -94,6 +95,10 @@ class TrialConfig:
     #: The concrete :class:`~repro.faults.schedule.FaultSchedule` derives
     #: from this plan plus ``seed`` and ``duration``.
     fault_plan: Optional[FaultPlan] = None
+    #: Cross-layer observability (metrics, packet journeys, heartbeats);
+    #: None disables it entirely — the no-op fast path.  Enabling it is
+    #: guaranteed not to perturb results (see docs/OBSERVABILITY.md).
+    observability: Optional[ObservabilityConfig] = None
 
     def __post_init__(self) -> None:
         if self.packet_size <= 0:

@@ -58,6 +58,11 @@ class Environment:
         """The process currently being resumed, if any."""
         return self._active_proc
 
+    @property
+    def pending_events(self) -> int:
+        """Number of events currently scheduled (heartbeat telemetry)."""
+        return len(self._queue)
+
     # -- event factories ---------------------------------------------------
 
     def event(self) -> Event:
@@ -182,10 +187,12 @@ class Environment:
         # strict flag, and the pop bound to locals: on long runs the event
         # loop dominates wall-clock, and the per-event attribute lookups
         # are measurable.  Keep the two in sync.
+        # ``events_processed`` is updated in-loop (not batched into a
+        # local and flushed on exit) so heartbeat callbacks running *inside*
+        # this loop observe a current count.
         queue = self._queue
         strict = self._strict
         pop = heappop
-        events = 0
         try:
             while queue:
                 at, _, _, event = pop(queue)
@@ -199,7 +206,7 @@ class Environment:
                         event=event,
                     )
                 self._now = at
-                events += 1
+                self.events_processed += 1
 
                 callbacks, event.callbacks = event.callbacks, None
                 for callback in callbacks:
@@ -210,8 +217,6 @@ class Environment:
                     raise event._value
         except StopSimulation as stop:
             return stop.value
-        finally:
-            self.events_processed += events
 
         if isinstance(until, Event) and not until.triggered:
             raise SimulationError(

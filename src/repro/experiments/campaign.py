@@ -33,6 +33,8 @@ from repro.core.analysis import assess_resilience
 from repro.core.runner import TrialResult, run_trial
 from repro.core.trials import TrialConfig
 from repro.faults.schedule import FaultPlan
+from repro.obs.config import ObservabilityConfig
+from repro.obs.introspect import read_last_heartbeat
 
 #: Synthetic trial kinds used to exercise the campaign's failure paths.
 TRIAL_KINDS = ("trial", "inject-crash", "inject-hang")
@@ -193,6 +195,29 @@ def _load_checkpoint(path: Path) -> dict[str, TrialOutcome]:
     return completed
 
 
+def _heartbeat_progress(trial: CampaignTrial) -> str:
+    """Where a killed trial had got to, from its last on-disk heartbeat.
+
+    The worker's introspector appends heartbeats line-by-line, so even a
+    SIGKILL'd trial leaves its progress behind; empty string when the
+    trial had no heartbeat file or never wrote one.
+    """
+    config = trial.config
+    if config is None or config.observability is None:
+        return ""
+    path = config.observability.heartbeat_path
+    if path is None:
+        return ""
+    beat = read_last_heartbeat(path)
+    if beat is None:
+        return ""
+    return (
+        f"; last heartbeat: sim_time={beat.get('sim_time')} "
+        f"events={beat.get('events')} "
+        f"events_per_wall_s={beat.get('events_per_wall_s')}"
+    )
+
+
 def _terminate(process: multiprocessing.Process) -> None:
     process.terminate()
     process.join(timeout=5.0)
@@ -266,7 +291,8 @@ def run_campaign(
             outcome = TrialOutcome(
                 key=trial.key,
                 status="timeout",
-                error=f"trial exceeded its {timeout:g}s watchdog",
+                error=f"trial exceeded its {timeout:g}s watchdog"
+                + _heartbeat_progress(trial),
                 elapsed=elapsed,
             )
         else:
@@ -313,8 +339,25 @@ def campaign_trials(
     fault_plan: Optional[FaultPlan] = None,
     inject_crash: bool = False,
     inject_hang: bool = False,
+    heartbeat_dir: Optional[Union[str, Path]] = None,
+    heartbeat_interval: float = 1.0,
 ) -> list[CampaignTrial]:
-    """One trial per seed over ``base``, plus optional synthetic failures."""
+    """One trial per seed over ``base``, plus optional synthetic failures.
+
+    With ``heartbeat_dir`` set, each trial runs with the introspector on,
+    appending heartbeats to ``<dir>/<key>.heartbeat.jsonl`` — the
+    watchdog then reports how far a killed trial had progressed.
+    """
+    def observability(key: str) -> Optional[ObservabilityConfig]:
+        if heartbeat_dir is None:
+            return base.observability
+        return ObservabilityConfig(
+            metrics=True,
+            journeys=False,  # campaigns run many trials; keep memory flat
+            heartbeat_interval=heartbeat_interval,
+            heartbeat_path=str(Path(heartbeat_dir) / f"{key}.heartbeat.jsonl"),
+        )
+
     trials = [
         CampaignTrial(
             key=f"{base.name}-seed{seed}",
@@ -323,6 +366,7 @@ def campaign_trials(
                 seed=seed,
                 enable_trace=False,
                 fault_plan=fault_plan,
+                observability=observability(f"{base.name}-seed{seed}"),
             ),
         )
         for seed in seeds

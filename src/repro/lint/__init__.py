@@ -21,6 +21,7 @@ SIM004    mutable default argument
 SIM005    iteration over a ``set`` / ``.keys()`` view in a hot path
 SIM006    direct mutation of ``Environment._queue`` (bypasses schedule())
 SIM007    blanket ``except``/``except Exception`` that silently swallows
+SIM008    metric name is not a lowercase dotted identifier
 ========  =============================================================
 
 Any finding can be suppressed on its line with ``# simlint: disable=SIMxxx``

@@ -11,7 +11,7 @@ from repro.lint.runner import run_lint
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="simlint",
-        description="determinism & scheduling static analysis (SIM001-SIM007)",
+        description="determinism & scheduling static analysis (SIM001-SIM008)",
     )
     parser.add_argument(
         "paths", nargs="*", default=["src"], help="files or directories to lint"

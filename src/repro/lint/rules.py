@@ -15,6 +15,7 @@ from pathlib import PurePosixPath
 from typing import Iterator, Optional
 
 from repro.lint.diagnostics import Diagnostic, is_suppressed, parse_suppressions
+from repro.obs.registry import METRIC_NAME_RE as _METRIC_NAME_RE
 
 #: Directory names whose files count as scheduling/forwarding hot paths.
 HOT_PATH_DIRS = frozenset({"des", "mac", "net", "routing"})
@@ -607,6 +608,54 @@ class SilentSwallowRule(Rule):
         return isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant)
 
 
+# -- SIM008 --------------------------------------------------------------------
+
+
+class MetricNameRule(Rule):
+    """SIM008: a metric registered under a malformed name.
+
+    The observability registry accepts only lowercase dotted identifiers
+    (``layer.component.thing``, underscores allowed) so that exported
+    JSONL/CSV, the inspect tables, and cross-run diffs all sort and group
+    stably.  A bad literal name would raise at the first instrumented run;
+    this rule catches it at lint time, before a rarely-enabled telemetry
+    path ever executes.
+    """
+
+    code = "SIM008"
+    summary = "metric name is not a lowercase dotted identifier"
+
+    #: Registry factory methods whose first argument is the metric name.
+    _FACTORIES = frozenset({"counter", "gauge", "histogram"})
+
+    def check(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Attribute):
+                name = func.attr
+            elif isinstance(func, ast.Name):
+                name = func.id
+            else:
+                continue
+            if name not in self._FACTORIES:
+                continue
+            arg = node.args[0] if node.args else None
+            if not isinstance(arg, ast.Constant) or not isinstance(
+                arg.value, str
+            ):
+                continue
+            if not _METRIC_NAME_RE.match(arg.value):
+                yield self._diag(
+                    ctx,
+                    arg,
+                    f"metric name {arg.value!r} passed to {name}() is not a "
+                    "lowercase dotted identifier (expected e.g. "
+                    "'mac.dcf.retransmissions')",
+                )
+
+
 #: The registry, in code order.
 ALL_RULES: tuple[Rule, ...] = (
     ModuleLevelRandomRule(),
@@ -616,6 +665,7 @@ ALL_RULES: tuple[Rule, ...] = (
     SetIterationRule(),
     QueueBypassRule(),
     SilentSwallowRule(),
+    MetricNameRule(),
 )
 
 

@@ -9,6 +9,7 @@ from repro.net.addresses import Address, BROADCAST
 from repro.net.headers import MacHeader
 from repro.net.packet import Packet
 from repro.net.queues import DropTailQueue
+from repro.obs import api as obs
 from repro.phy.radio import WirelessPhy
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -58,6 +59,9 @@ class Mac:
         self.ifq = ifq
         phy.mac = self
         self.stats = MacStats()
+        self._obs_rx = obs.counter("mac.data.received")
+        self._obs_drops = obs.counter("mac.drops")
+        self.journeys = obs.journey_tracker()
         self.recv_callback: Optional[Callable[[Packet], None]] = None
         self.link_failure_callback: Optional[Callable[[Packet], None]] = None
         self.link_success_callback: Optional[Callable[[Packet], None]] = None
@@ -119,6 +123,7 @@ class Mac:
 
     def _deliver_up(self, pkt: Packet) -> None:
         self.stats.data_received += 1
+        self._obs_rx.inc()
         if self.trace_callback is not None:
             self.trace_callback("r", pkt, "MAC")
         if self.recv_callback is not None:
@@ -126,6 +131,7 @@ class Mac:
 
     def _notify_failure(self, pkt: Packet) -> None:
         self.stats.drops += 1
+        self._obs_drops.inc()
         if self.trace_callback is not None:
             self.trace_callback("D", pkt, "MAC-retry")
         if self.link_failure_callback is not None:

@@ -27,6 +27,8 @@ from repro.net.headers import IpHeader, MacHeader
 from repro.net.packet import Packet, PacketType
 from repro.net.queues import DropTailQueue
 from repro.mac.base import Mac, PLCP_OVERHEAD
+from repro.obs import api as obs
+from repro.obs.registry import SLOT_EDGES
 from repro.phy.radio import WirelessPhy
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -121,6 +123,9 @@ class Dcf80211Mac(Mac):
         self._response_event: Optional[Event] = None
         #: (src, uid) of recently delivered unicast frames, for dedup.
         self._seen: dict[Address, int] = {}
+        self._obs_sent = obs.counter("mac.dcf.data_sent")
+        self._obs_retx = obs.counter("mac.dcf.retransmissions")
+        self._obs_backoff = obs.histogram("mac.dcf.backoff_slots", SLOT_EDGES)
 
     # -- carrier sense (physical + virtual) -----------------------------------
 
@@ -187,6 +192,22 @@ class Dcf80211Mac(Mac):
 
     # -- transmit path ------------------------------------------------------------
 
+    def _draw_backoff(self) -> int:
+        """Draw a backoff slot count from [0, cw] and record it.
+
+        Draw first, observe after: the RNG consumption order is identical
+        with observability on or off (the differential-digest guarantee).
+        """
+        slots = self._rng.randint(0, self._cw)
+        self._obs_backoff.observe(slots)
+        return slots
+
+    def _mark_retry(self, pkt: Packet) -> None:
+        self.stats.retransmissions += 1
+        self._obs_retx.inc()
+        if self.journeys is not None:
+            self.journeys.record("x", self.env.now, self.address, "MAC", pkt)
+
     def _send_one(self, pkt: Packet):
         params = self.params
         pkt.mac.src = self.address
@@ -199,24 +220,25 @@ class Dcf80211Mac(Mac):
         self._cw = self._cw_min_cur
         # Initial deference: AIFS plus a backoff draw (post-backoff is
         # always applied, as real DCF does after a previous transmission).
-        yield from self._backoff(self._rng.randint(0, self._cw))
+        yield from self._backoff(self._draw_backoff())
         while True:
             yield from self._wait_free_for(self._aifs)
             if use_rts:
                 got_cts = yield from self._rts_handshake(pkt)
                 if not got_cts:
                     retries += 1
-                    self.stats.retransmissions += 1
+                    self._mark_retry(pkt)
                     if retries > retry_limit:
                         self._notify_failure(pkt)
                         return
                     self._grow_cw()
-                    yield from self._backoff(self._rng.randint(0, self._cw))
+                    yield from self._backoff(self._draw_backoff())
                     continue
                 yield self.env.timeout(params.sifs)
             ok = yield from self._data_exchange(pkt, broadcast)
             if ok:
                 self.stats.data_sent += 1
+                self._obs_sent.inc()
                 if not broadcast:
                     self._notify_success(pkt)
                     if self.rate_controller is not None:
@@ -225,7 +247,7 @@ class Dcf80211Mac(Mac):
                     self.trace_callback("s", pkt, "MAC")
                 return
             retries += 1
-            self.stats.retransmissions += 1
+            self._mark_retry(pkt)
             if self.rate_controller is not None and not broadcast:
                 self.rate_controller.on_failure()
             pkt.mac.retries = retries
@@ -233,7 +255,7 @@ class Dcf80211Mac(Mac):
                 self._notify_failure(pkt)
                 return
             self._grow_cw()
-            yield from self._backoff(self._rng.randint(0, self._cw))
+            yield from self._backoff(self._draw_backoff())
 
     def _grow_cw(self) -> None:
         self._cw = min(2 * self._cw + 1, self._cw_max_cur)

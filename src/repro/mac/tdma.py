@@ -25,6 +25,7 @@ from repro.net.headers import MacHeader
 from repro.net.packet import Packet
 from repro.net.queues import DropTailQueue
 from repro.mac.base import Mac, PLCP_OVERHEAD
+from repro.obs import api as obs
 from repro.phy.radio import WirelessPhy
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -73,6 +74,8 @@ class TdmaMac(Mac):
     ) -> None:
         super().__init__(env, address, phy, ifq)
         self.params = params or TdmaParams()
+        self._obs_sent = obs.counter("mac.tdma.data_sent")
+        self._obs_wait = obs.histogram("mac.tdma.access_wait")
 
     # -- frame geometry ---------------------------------------------------------
 
@@ -115,6 +118,7 @@ class TdmaMac(Mac):
         pkt.mac.src = self.address
         pkt.mac.subtype = "tdma-data"
         start = self.next_slot_start(self.env.now)
+        self._obs_wait.observe(max(0.0, start - self.env.now))
         if start > self.env.now:
             yield self.env.timeout(start - self.env.now)
         duration = self.frame_duration(pkt.size)
@@ -127,6 +131,7 @@ class TdmaMac(Mac):
         self.phy.transmit(pkt, duration)
         yield self.env.timeout(duration)
         self.stats.data_sent += 1
+        self._obs_sent.inc()
         if pkt.mac.dst != BROADCAST:
             self._notify_success(pkt)
         if self.trace_callback is not None:

@@ -15,6 +15,7 @@ from typing import TYPE_CHECKING, Optional
 
 from repro.des.events import DeferredBatch
 from repro.net.packet import Packet
+from repro.obs import api as obs
 from repro.perf.fastpath import FASTPATH
 from repro.phy.propagation import SPEED_OF_LIGHT, PropagationModel, TwoRayGround
 from repro.phy.radio import WirelessPhy
@@ -44,6 +45,8 @@ class WirelessChannel:
         self.transmissions = 0
         #: Frames lost to an active channel-degradation window.
         self.degraded_losses = 0
+        self._obs_tx = obs.counter("channel.transmissions")
+        self._obs_degraded = obs.counter("channel.degraded_losses")
         #: Fast path: per sender, a per-receiver map of the last
         #: ``(sender_pos, receiver_pos, tx_power, distance, rx_power)``.
         #: Platoon geometry is static or slowly moving, so consecutive
@@ -115,6 +118,7 @@ class WirelessChannel:
         if not sender.up:
             return
         self.transmissions += 1
+        self._obs_tx.inc()
         if FASTPATH:
             self._transmit_fast(sender, pkt, duration)
             return
@@ -143,6 +147,7 @@ class WirelessChannel:
                 and self._loss_rng.random() < self.loss_rate
             ):
                 self.degraded_losses += 1
+                self._obs_degraded.inc()
                 continue
             delay = distance / SPEED_OF_LIGHT
             self.env.process(
@@ -226,6 +231,7 @@ class WirelessChannel:
                 continue
             if loss_rng is not None and loss_rng.random() < self.loss_rate:
                 self.degraded_losses += 1
+                self._obs_degraded.inc()
                 continue
             deliveries.append(
                 (

@@ -21,6 +21,7 @@ from repro.net.packet import Packet
 from repro.net.queues import DropTailQueue
 from repro.mac.base import Mac
 from repro.mobility.base import MobilityModel
+from repro.obs import api as obs
 from repro.phy.radio import RadioParams, WirelessPhy
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -51,6 +52,7 @@ class Node:
         self.address = address
         self.mobility = mobility
         self.tracer = tracer
+        self.journeys = obs.journey_tracker()
         self.phy = WirelessPhy(
             env,
             position_fn=lambda: mobility.position(env.now),
@@ -176,3 +178,5 @@ class Node:
     def _trace(self, event: str, pkt: Packet, layer: str) -> None:
         if self.tracer is not None:
             self.tracer.record(event, self.env.now, self.address, layer, pkt)
+        if self.journeys is not None:
+            self.journeys.record(event, self.env.now, self.address, layer, pkt)

@@ -15,6 +15,8 @@ import random
 
 from repro.des.events import Event
 from repro.net.packet import Packet
+from repro.obs import api as obs
+from repro.obs.registry import OCCUPANCY_EDGES
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.des.core import Environment
@@ -50,6 +52,9 @@ class DropTailQueue:
         self.enqueued = 0
         self.dropped = 0
         self.dequeued = 0
+        self._obs_enq = obs.counter("queue.enqueued")
+        self._obs_drop = obs.counter("queue.dropped")
+        self._obs_occ = obs.histogram("queue.occupancy", OCCUPANCY_EDGES)
 
     def __len__(self) -> int:
         return len(self._items)
@@ -61,17 +66,22 @@ class DropTailQueue:
 
     def put(self, pkt: Packet) -> bool:
         """Enqueue ``pkt``; returns False (and drops) if the queue is full."""
+        # Occupancy is observed at arrival, before the packet is placed:
+        # the queue depth the arrival actually experienced.
+        self._obs_occ.observe(len(self._items))
         if self._getters:
             # A consumer is already waiting: hand over directly.
             self._getters.pop(0).succeed(pkt)
             self.enqueued += 1
             self.dequeued += 1
+            self._obs_enq.inc()
             return True
         if len(self._items) >= self.limit:
             self._drop(pkt, "IFQ")
             return False
         self._insert(pkt)
         self.enqueued += 1
+        self._obs_enq.inc()
         return True
 
     def get(self) -> Event:
@@ -119,6 +129,7 @@ class DropTailQueue:
 
     def _drop(self, pkt: Packet, reason: str) -> None:
         self.dropped += 1
+        self._obs_drop.inc()
         if self.drop_callback is not None:
             self.drop_callback(pkt, reason)
 

@@ -1,0 +1,52 @@
+"""Cross-layer observability: metrics, packet journeys, run introspection.
+
+See docs/OBSERVABILITY.md for the metric naming convention, the journey
+and heartbeat schemas, and how to instrument a new layer.  Everything
+here obeys the differential-digest guarantee: enabling observability
+yields bit-identical traces and summaries.
+"""
+
+from repro.obs.config import ObservabilityConfig
+from repro.obs.introspect import RunIntrospector, read_last_heartbeat
+from repro.obs.journey import (
+    DWELL_LAYERS,
+    Hop,
+    Journey,
+    JourneyTracker,
+    aggregate_dwell,
+    dwell_breakdown,
+)
+from repro.obs.registry import (
+    LATENCY_EDGES,
+    METRIC_NAME_RE,
+    OCCUPANCY_EDGES,
+    SLOT_EDGES,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricRegistry,
+    validate_metric_name,
+)
+from repro.obs.runtime import Observability
+
+__all__ = [
+    "Counter",
+    "DWELL_LAYERS",
+    "Gauge",
+    "Histogram",
+    "Hop",
+    "Journey",
+    "JourneyTracker",
+    "LATENCY_EDGES",
+    "METRIC_NAME_RE",
+    "MetricRegistry",
+    "OCCUPANCY_EDGES",
+    "Observability",
+    "ObservabilityConfig",
+    "RunIntrospector",
+    "SLOT_EDGES",
+    "aggregate_dwell",
+    "dwell_breakdown",
+    "read_last_heartbeat",
+    "validate_metric_name",
+]

@@ -1,0 +1,101 @@
+"""Process-wide observability context and the instrument proxies.
+
+Instrumented components (MACs, queues, TCP agents, ...) bind their
+instruments at construction time::
+
+    from repro.obs import api as obs
+    ...
+    self._obs_retx = obs.counter("mac.dcf.retransmissions")
+
+While a registry is active (the scenario builder activates one when its
+:class:`~repro.core.trials.TrialConfig` enables observability) the proxy
+returns a live instrument from that registry; otherwise it returns the
+shared null instrument whose update methods are no-ops.  Binding happens
+once per component, so the disabled path costs a single no-op method
+call per instrumented event — the "no-op fast path" of the metric
+registry.
+
+The context is deliberately process-wide, matching how scenarios are
+built (serially, one at a time, in the worker process that runs them);
+:meth:`repro.core.scenario.EblScenario` activates it only for the span
+of stack construction and always deactivates in a ``finally``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.obs.registry import (
+    LATENCY_EDGES,
+    NULL_COUNTER,
+    NULL_GAUGE,
+    NULL_HISTOGRAM,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricRegistry,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.journey import JourneyTracker
+
+_registry: Optional[MetricRegistry] = None
+_journeys: Optional["JourneyTracker"] = None
+
+
+def activate(
+    registry: Optional[MetricRegistry],
+    journeys: Optional["JourneyTracker"] = None,
+) -> None:
+    """Install the active registry/journey tracker for component binding."""
+    global _registry, _journeys
+    _registry = registry
+    _journeys = journeys
+
+
+def deactivate() -> None:
+    """Clear the active context (components bound so far stay bound)."""
+    activate(None, None)
+
+
+def active_registry() -> Optional[MetricRegistry]:
+    """The currently active registry, or None when disabled."""
+    return _registry
+
+
+def is_active() -> bool:
+    """True while a registry is installed."""
+    return _registry is not None
+
+
+def counter(name: str) -> Counter:
+    """The named counter from the active registry, or the null counter."""
+    if _registry is None:
+        return NULL_COUNTER  # type: ignore[return-value]
+    return _registry.counter(name)
+
+
+def gauge(name: str) -> Gauge:
+    """The named gauge from the active registry, or the null gauge."""
+    if _registry is None:
+        return NULL_GAUGE  # type: ignore[return-value]
+    return _registry.gauge(name)
+
+
+def histogram(
+    name: str, edges: tuple[float, ...] = LATENCY_EDGES
+) -> Histogram:
+    """The named histogram from the active registry, or the null one."""
+    if _registry is None:
+        return NULL_HISTOGRAM  # type: ignore[return-value]
+    return _registry.histogram(name, edges)
+
+
+def journey_tracker() -> Optional["JourneyTracker"]:
+    """The active packet-journey tracker, or None when disabled.
+
+    Returned as an Optional (not a null object): journey recording sits
+    on the per-trace-event path, where an ``is not None`` test is cheaper
+    than a no-op method call.
+    """
+    return _journeys

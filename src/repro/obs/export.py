@@ -1,0 +1,234 @@
+"""Exporters and table renderers for ``ebl-sim inspect``.
+
+Writers emit JSONL (one object per line, schema documented in
+docs/OBSERVABILITY.md) and CSV (flat scalar views).  Renderers return
+plain-text tables for the terminal.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from typing import TYPE_CHECKING, Any, Iterable, Optional
+
+from repro.obs.journey import (
+    DWELL_LAYERS,
+    Journey,
+    dwell_breakdown,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.journey import JourneyTracker
+    from repro.obs.registry import MetricRegistry
+
+
+# -- JSONL / CSV writers ---------------------------------------------------
+
+
+def write_metrics_jsonl(registry: "MetricRegistry", path: str) -> int:
+    """Write one ``{"name", ...snapshot}`` object per metric; returns count."""
+    snapshot = registry.snapshot()
+    with open(path, "w", encoding="utf-8") as fh:
+        for name, state in snapshot.items():
+            fh.write(json.dumps({"name": name, **state}) + "\n")
+    return len(snapshot)
+
+
+def write_metrics_csv(registry: "MetricRegistry", path: str) -> int:
+    """Write the compact scalar view as ``name,value`` rows; returns count."""
+    compact = registry.compact()
+    with open(path, "w", encoding="utf-8", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["name", "value"])
+        for name, value in compact.items():
+            writer.writerow([name, repr(value)])
+    return len(compact)
+
+
+def write_journeys_jsonl(tracker: "JourneyTracker", path: str) -> int:
+    """Write one :meth:`Journey.to_dict` object per line; returns count."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as fh:
+        for journey in tracker.iter_journeys():
+            fh.write(json.dumps(journey.to_dict()) + "\n")
+            count += 1
+    return count
+
+
+_JOURNEY_CSV_FIELDS = (
+    "uid", "ptype", "src", "dst", "size", "seqno",
+    "delivered", "retries", "hops", "delay",
+)
+
+
+def write_journeys_csv(tracker: "JourneyTracker", path: str) -> int:
+    """Write one summary row per journey (hop lists omitted); returns count."""
+    count = 0
+    with open(path, "w", encoding="utf-8", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(_JOURNEY_CSV_FIELDS)
+        for journey in tracker.iter_journeys():
+            delay = journey.end_to_end_delay()
+            writer.writerow(
+                [
+                    journey.uid,
+                    journey.ptype,
+                    journey.src,
+                    journey.dst,
+                    journey.size,
+                    journey.seqno if journey.seqno is not None else "",
+                    int(journey.delivered),
+                    journey.retries,
+                    len(journey.hops),
+                    repr(delay) if delay is not None else "",
+                ]
+            )
+            count += 1
+    return count
+
+
+def write_heartbeats_jsonl(
+    records: Iterable[dict[str, Any]], path: str
+) -> int:
+    """Write heartbeat records as JSONL; returns count."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as fh:
+        for record in records:
+            fh.write(json.dumps(record) + "\n")
+            count += 1
+    return count
+
+
+# -- plain-text tables -----------------------------------------------------
+
+
+def _table(headers: tuple[str, ...], rows: list[tuple[str, ...]]) -> str:
+    widths = [len(header) for header in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [
+        "  ".join(header.ljust(width) for header, width in zip(headers, widths)),
+        "  ".join("-" * width for width in widths),
+    ]
+    for row in rows:
+        lines.append(
+            "  ".join(cell.ljust(width) for cell, width in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def render_metrics_table(registry: "MetricRegistry") -> str:
+    """Every metric as a ``name / type / value`` table."""
+    rows: list[tuple[str, ...]] = []
+    for name, state in registry.snapshot().items():
+        kind = str(state["type"])
+        if kind == "histogram":
+            count = state["count"]
+            mean = state["mean"]
+            value = (
+                f"n={count}"
+                if not count
+                else f"n={count} mean={mean:.6g} "
+                f"min={state['min']:.6g} max={state['max']:.6g}"
+            )
+        else:
+            value = f"{state['value']:g}"
+            if state.get("sampled"):
+                kind = "gauge*"
+        rows.append((name, kind, value))
+    table = _table(("metric", "type", "value"), rows)
+    if any(kind == "gauge*" for _, kind, _ in rows):
+        table += "\n(* sampled at snapshot time)"
+    return table
+
+
+def render_dwell_table(dwell: dict[str, dict[str, float]]) -> str:
+    """Aggregated per-layer dwell as a table (stack order, extras last)."""
+    layers = [layer for layer in DWELL_LAYERS if layer in dwell]
+    layers += sorted(set(dwell) - set(DWELL_LAYERS))
+    rows = [
+        (
+            layer,
+            f"{dwell[layer]['count']:.0f}",
+            f"{dwell[layer]['mean'] * 1e3:.3f}",
+            f"{dwell[layer]['max'] * 1e3:.3f}",
+            f"{dwell[layer]['total'] * 1e3:.3f}",
+        )
+        for layer in layers
+    ]
+    return _table(
+        ("layer", "journeys", "mean ms", "max ms", "total ms"), rows
+    )
+
+
+def render_journey(journey: Journey) -> str:
+    """One journey: header line, hop table, per-layer dwell breakdown."""
+    delay = journey.end_to_end_delay()
+    status = (
+        f"delivered in {delay * 1e3:.3f} ms"
+        if delay is not None
+        else ("dropped" if journey.dropped else "in flight")
+    )
+    seq = f" seq={journey.seqno}" if journey.seqno is not None else ""
+    header = (
+        f"packet uid={journey.uid} {journey.ptype}{seq} "
+        f"{journey.src} -> {journey.dst} ({journey.size} B): {status}, "
+        f"{journey.retries} MAC retries"
+    )
+    start = journey.start_time
+    rows = [
+        (
+            f"{hop.time:.6f}",
+            f"+{(hop.time - start) * 1e3:.3f}",
+            hop.event,
+            hop.layer,
+            str(hop.node),
+        )
+        for hop in journey.hops
+    ]
+    hop_table = _table(("t (s)", "ms", "ev", "layer", "node"), rows)
+    dwell = dwell_breakdown(journey)
+    if dwell:
+        parts = [
+            f"{layer}={dwell[layer] * 1e3:.3f}ms"
+            for layer in DWELL_LAYERS
+            if layer in dwell
+        ]
+        breakdown = "dwell: " + "  ".join(parts)
+    else:
+        breakdown = "dwell: (undelivered)"
+    return "\n".join([header, hop_table, breakdown])
+
+
+def render_journeys_summary(
+    tracker: "JourneyTracker", slowest: int = 5
+) -> Optional[str]:
+    """Counts plus a slowest-journeys table; None when nothing tracked."""
+    journeys = tracker.journeys()
+    if not journeys:
+        return None
+    delivered = sum(1 for journey in journeys if journey.delivered)
+    dropped = sum(1 for journey in journeys if journey.dropped)
+    lines = [
+        f"{len(journeys)} journeys tracked "
+        f"({delivered} delivered, {dropped} with drops, "
+        f"{tracker.overflow} past cap)"
+    ]
+    slow = tracker.slowest(slowest)
+    if slow:
+        rows = [
+            (
+                str(journey.uid),
+                journey.ptype,
+                f"{journey.src}->{journey.dst}",
+                str(journey.retries),
+                f"{(journey.end_to_end_delay() or 0.0) * 1e3:.3f}",
+            )
+            for journey in slow
+        ]
+        lines.append("slowest delivered journeys:")
+        lines.append(
+            _table(("uid", "ptype", "flow", "retries", "delay ms"), rows)
+        )
+    return "\n".join(lines)

@@ -1,0 +1,156 @@
+"""Live run introspection: the periodic sim-time heartbeat.
+
+:class:`RunIntrospector` runs a simulation process that wakes every
+``interval`` *simulated* seconds and emits one heartbeat record: current
+sim time, kernel progress (events processed, events pending), wall-clock
+progress (events per wall second, wall/sim ratio), and — when a metric
+registry is attached — the compact per-layer metric snapshot.
+
+Records accumulate in memory and, when a path is given, are appended to
+a JSONL file one line per heartbeat with the file opened and closed per
+emit.  That makes heartbeats crash-tolerant: a trial killed by the
+campaign watchdog leaves every heartbeat it got to on disk, and the
+watchdog reads the last line (:func:`read_last_heartbeat`) to report how
+far the stuck trial had progressed.
+
+Digest neutrality: the heartbeat inserts Timeout events into the kernel
+heap, which shifts the monotone event ids of later events uniformly —
+relative order of all simulation events is preserved.  The callback only
+*reads* kernel and registry state (no RNG draws, no packet creation, no
+scheduling besides its own next wake-up), so traces and summaries are
+bit-identical with heartbeats on or off; the golden equivalence tests
+pin this.
+
+Wall-clock reads below are real and intentional — the whole point of the
+heartbeat is to relate simulated progress to wall time — hence the
+SIM002 suppressions.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import TYPE_CHECKING, Any, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.des.core import Environment
+    from repro.des.process import ProcessGenerator
+    from repro.obs.registry import MetricRegistry
+
+#: Default heartbeat period, simulated seconds.
+DEFAULT_INTERVAL = 1.0
+
+
+class RunIntrospector:
+    """Emits periodic heartbeat records while a simulation runs.
+
+    Parameters
+    ----------
+    env:
+        The environment to introspect.
+    registry:
+        Optional metric registry whose compact snapshot rides along on
+        every heartbeat.
+    interval:
+        Heartbeat period in simulated seconds.
+    path:
+        Optional JSONL file to append each record to.
+
+    The heartbeat process reschedules itself forever, so it keeps the
+    event queue non-empty: only use it with ``env.run(until=...)`` (the
+    scenario runner always does), never with an exhaustion-bounded run.
+    """
+
+    def __init__(
+        self,
+        env: "Environment",
+        registry: Optional["MetricRegistry"] = None,
+        interval: float = DEFAULT_INTERVAL,
+        path: Optional[str] = None,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError("heartbeat interval must be positive")
+        self.env = env
+        self.registry = registry
+        self.interval = float(interval)
+        self.path = path
+        #: Every heartbeat record emitted so far, in order.
+        self.records: list[dict[str, Any]] = []
+        self._seq = 0
+        self._started = False
+        self._stopped = False
+        self._wall_start: Optional[float] = None
+        self._events_start = 0
+
+    def start(self) -> None:
+        """Begin heartbeating (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        self._wall_start = time.perf_counter()  # simlint: disable=SIM002
+        self._events_start = self.env.events_processed
+        self.env.process(self._beat())
+
+    def stop(self) -> None:
+        """Stop after the next wake-up (no further records are emitted)."""
+        self._stopped = True
+
+    def _beat(self) -> "ProcessGenerator":
+        while not self._stopped:
+            yield self.env.timeout(self.interval)
+            if self._stopped:
+                return
+            self._emit()
+
+    def _emit(self) -> None:
+        wall = time.perf_counter()  # simlint: disable=SIM002
+        wall_s = wall - (self._wall_start if self._wall_start is not None else wall)
+        events = self.env.events_processed - self._events_start
+        sim_time = self.env.now
+        record: dict[str, Any] = {
+            "type": "heartbeat",
+            "seq": self._seq,
+            "sim_time": sim_time,
+            "events": events,
+            "pending": self.env.pending_events,
+            "wall_s": wall_s,
+            "events_per_wall_s": (events / wall_s) if wall_s > 0 else None,
+            "wall_sim_ratio": (wall_s / sim_time) if sim_time > 0 else None,
+        }
+        if self.registry is not None:
+            record["metrics"] = self.registry.compact()
+        self._seq += 1
+        self.records.append(record)
+        if self.path is not None:
+            self._append(record)
+
+    def _append(self, record: dict[str, Any]) -> None:
+        # Open/write/close per record: slower than holding the handle,
+        # but every completed heartbeat survives a SIGKILL'd trial.
+        with open(self.path or "", "a", encoding="utf-8") as fh:
+            fh.write(json.dumps(record) + "\n")
+
+
+def read_last_heartbeat(path: str) -> Optional[dict[str, Any]]:
+    """The last complete heartbeat record in a JSONL file, or None.
+
+    Tolerates a missing file and a truncated final line (the writer may
+    have been killed mid-write), which is exactly the situation the
+    campaign watchdog reads these files in.
+    """
+    last: Optional[dict[str, Any]] = None
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except ValueError:
+                    continue
+                if isinstance(record, dict):
+                    last = record
+    except OSError:
+        return None
+    return last

@@ -27,6 +27,7 @@ from typing import Any, Iterable, Optional
 
 from repro.core.runner import run_trial
 from repro.core.trials import TRIAL_1, TRIAL_2, TRIAL_3, TrialConfig
+from repro.obs.config import ObservabilityConfig
 from repro.perf.fastpath import fastpath_enabled
 
 try:  # pragma: no cover - resource is POSIX-only
@@ -73,13 +74,24 @@ def _peak_rss_kb() -> Optional[int]:
 
 
 def bench_trial(
-    config: TrialConfig, duration: float, repeats: int
+    config: TrialConfig, duration: float, repeats: int, observe: bool = False
 ) -> dict[str, Any]:
-    """Benchmark one trial config, returning its report entry."""
-    cfg = config.with_overrides(duration=duration, enable_trace=False)
+    """Benchmark one trial config, returning its report entry.
+
+    With ``observe`` the benched runs carry the full metric registry and
+    journey tracker, so the entry additionally reports the compact metric
+    snapshot — and the measured wall clock *includes* the observability
+    overhead (the <10% bench guard measures exactly this).
+    """
+    cfg = config.with_overrides(
+        duration=duration,
+        enable_trace=False,
+        observability=ObservabilityConfig() if observe else None,
+    )
     best_wall = float("inf")
     events = 0
     packets = 0
+    metrics: dict[str, float] = {}
     for _ in range(max(1, repeats)):
         start = time.perf_counter()  # simlint: disable=SIM002
         result = run_trial(cfg)
@@ -89,7 +101,10 @@ def bench_trial(
             scenario = result.scenario
             events = scenario.env.events_processed if scenario else 0
             packets = scenario.channel.transmissions if scenario else 0
-    return {
+            obs = result.observability
+            if obs is not None and obs.registry is not None:
+                metrics = obs.registry.compact()
+    entry = {
         "duration_s": duration,
         "repeats": max(1, repeats),
         "wall_s": best_wall,
@@ -99,6 +114,9 @@ def bench_trial(
         "packets_per_sec": packets / best_wall if best_wall > 0 else 0.0,
         "peak_rss_kb": _peak_rss_kb(),
     }
+    if observe:
+        entry["metrics"] = metrics
+    return entry
 
 
 def run_bench(
@@ -106,6 +124,7 @@ def run_bench(
     repeats: Optional[int] = None,
     duration: Optional[float] = None,
     trials: Optional[Iterable[str]] = None,
+    observe: bool = False,
 ) -> dict[str, Any]:
     """Run the bench suite and return the full report dict."""
     if profile not in PROFILES:
@@ -119,6 +138,7 @@ def run_bench(
         "schema": SCHEMA,
         "profile": profile,
         "fastpath": fastpath_enabled(),
+        "observability": observe,
         "python": "%d.%d.%d" % sys.version_info[:3],
         "trials": {},
     }
@@ -127,6 +147,7 @@ def run_bench(
             BENCH_TRIALS[name],
             duration if duration is not None else settings["durations"][name],
             repeats if repeats is not None else settings["repeats"],
+            observe=observe,
         )
     return report
 
@@ -191,6 +212,7 @@ def format_report(report: dict[str, Any]) -> str:
     lines = [
         f"bench profile={report['profile']} "
         f"fastpath={'on' if report['fastpath'] else 'off'} "
+        f"obs={'on' if report.get('observability') else 'off'} "
         f"python={report['python']}",
         f"{'trial':>8} {'sim s':>7} {'wall s':>8} {'events/s':>12} "
         f"{'packets/s':>10} {'rss MB':>7}",

@@ -13,6 +13,7 @@ from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.des.events import DeferredCall, Event
 from repro.net.packet import Packet
+from repro.obs import api as obs
 from repro.perf.fastpath import FASTPATH
 from repro.phy.propagation import SPEED_OF_LIGHT, PropagationModel, TwoRayGround
 
@@ -155,6 +156,10 @@ class WirelessPhy:
         self.frames_received = 0
         self.frames_corrupted = 0
         self.frames_dropped_down = 0
+        self._obs_sent = obs.counter("phy.frames.sent")
+        self._obs_recv = obs.counter("phy.frames.received")
+        self._obs_corrupt = obs.counter("phy.frames.corrupted")
+        self._obs_dropped_down = obs.counter("phy.frames.dropped_down")
 
     # -- geometry ------------------------------------------------------------
 
@@ -234,6 +239,7 @@ class WirelessPhy:
         if not self.up:
             # Crashed node: the frame silently never makes it to the air.
             self.frames_dropped_down += 1
+            self._obs_dropped_down.inc()
             return
         if self.transmitting:
             raise RuntimeError("radio is already transmitting")
@@ -245,6 +251,7 @@ class WirelessPhy:
         self._tx_end_time = self.env.now + duration
         self.busy_epoch += 1
         self.frames_sent += 1
+        self._obs_sent.inc()
         if self.energy is not None:
             self.energy.note_tx(duration)
         self.channel.transmit(self, pkt, duration)
@@ -381,16 +388,19 @@ class WirelessPhy:
             self._current = None
             if signal.corrupted or self.transmitting:
                 self.frames_corrupted += 1
+                self._obs_corrupt.inc()
                 if self.mac is not None:
                     self.mac.phy_rx_failed(signal.pkt, "collision")
             elif self.error_model is not None and self.error_model.corrupts(
                 signal.pkt, signal.distance, signal.power
             ):
                 self.frames_corrupted += 1
+                self._obs_corrupt.inc()
                 if self.mac is not None:
                     self.mac.phy_rx_failed(signal.pkt, "error-model")
             else:
                 self.frames_received += 1
+                self._obs_recv.inc()
                 if self.mac is not None:
                     self.mac.phy_rx_end(signal.pkt)
         elif signal.decoding:  # pragma: no cover - defensive
@@ -400,6 +410,7 @@ class WirelessPhy:
                 signal
             ):
                 self.frames_corrupted += 1
+                self._obs_corrupt.inc()
                 if self.mac is not None:
                     self.mac.phy_rx_failed(signal.pkt, "collision")
         self._notify_if_idle()

@@ -8,6 +8,7 @@ from typing import TYPE_CHECKING, Optional
 from repro.net.addresses import Address, BROADCAST
 from repro.net.headers import AodvHeader
 from repro.net.packet import Packet, PacketType
+from repro.obs import api as obs
 from repro.routing.aodv.config import AodvParams
 from repro.routing.aodv.messages import make_hello, make_rerr, make_rreq, make_rrep
 from repro.routing.base import RoutingProtocol
@@ -63,6 +64,11 @@ class Aodv(RoutingProtocol):
         self._rreq_seen: dict[tuple[Address, int], float] = {}
         #: Last HELLO time per neighbour (when beaconing).
         self._neighbour_heard: dict[Address, float] = {}
+        self._obs_rreq = obs.counter("aodv.rreq.sent")
+        self._obs_rrep = obs.counter("aodv.rrep.sent")
+        self._obs_rerr = obs.counter("aodv.rerr.sent")
+        self._obs_disc = obs.counter("aodv.discoveries")
+        self._obs_disc_fail = obs.counter("aodv.discovery_failures")
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -118,6 +124,7 @@ class Aodv(RoutingProtocol):
             self._discoveries[dst] = discovery
             self._queue_packet(discovery, pkt)
             self.stats.discoveries += 1
+            self._obs_disc.inc()
             self._send_rreq(dst, discovery)
         else:
             self._queue_packet(discovery, pkt)
@@ -157,6 +164,7 @@ class Aodv(RoutingProtocol):
         )
         self._rreq_seen[(self.address, self.rreq_id)] = self.env.now
         self.stats.rreq_sent += 1
+        self._obs_rreq.inc()
         self.node.enqueue_to_mac(rreq, BROADCAST)
         discovery.generation += 1
         self.env.process(
@@ -187,6 +195,7 @@ class Aodv(RoutingProtocol):
 
     def _fail_discovery(self, dst: Address, discovery: _Discovery) -> None:
         self.stats.discovery_failures += 1
+        self._obs_disc_fail.inc()
         for pkt, _ in discovery.buffer:
             self.node.drop(pkt, "NRTE")
         del self._discoveries[dst]
@@ -344,6 +353,7 @@ class Aodv(RoutingProtocol):
             ttl=self.params.net_diameter,
         )
         self.stats.rrep_sent += 1
+        self._obs_rrep.inc()
         # Forward route's precursors learn about the reverse next hop.
         forward = self.table.get(dst)
         if forward is not None:
@@ -366,6 +376,7 @@ class Aodv(RoutingProtocol):
             ttl=self.params.net_diameter,
         )
         self.stats.rrep_sent += 1
+        self._obs_rrep.inc()
         self.node.enqueue_to_mac(grat, route.next_hop)
 
     def _recv_rrep(self, pkt: Packet, header: AodvHeader, prev_hop: Address) -> None:
@@ -416,6 +427,7 @@ class Aodv(RoutingProtocol):
     def _broadcast_rerr(self, unreachable: list[tuple[Address, int]]) -> None:
         rerr = make_rerr(self.address, unreachable)
         self.stats.rerr_sent += 1
+        self._obs_rerr.inc()
         self.node.enqueue_to_mac(rerr, BROADCAST)
 
     def _recv_rerr(self, header: AodvHeader, prev_hop: Address) -> None:

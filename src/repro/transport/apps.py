@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Optional, Union
 
+from repro.obs import api as obs
 from repro.transport.tcp import TcpAgent
 from repro.transport.udp import UdpAgent
 
@@ -61,6 +62,7 @@ class CbrApp:
         self.packet_size = packet_size
         self.interval = interval
         self.packets_generated = 0
+        self._obs_packets = obs.counter("app.cbr.packets")
         self._running = False
         self._stop_at: Optional[float] = None
 
@@ -85,6 +87,7 @@ class CbrApp:
 
     def _emit(self) -> None:
         self.packets_generated += 1
+        self._obs_packets.inc()
         if isinstance(self.agent, TcpAgent):
             self.agent.send_bytes(self.packet_size)
         else:
@@ -145,6 +148,7 @@ class RetryingSender:
         self.send_fn = send_fn
         self.policy = policy or BackoffPolicy()
         self.attempts = 0
+        self._obs_attempts = obs.counter("app.retry.attempts")
         self.acknowledged = False
         self.cancelled = False
         self.exhausted = False
@@ -176,6 +180,7 @@ class RetryingSender:
         while not self.done:
             self.send_fn(self.attempts)
             self.attempts += 1
+            self._obs_attempts.inc()
             # Wait out the backoff even after the last attempt, so a
             # late acknowledgement still lands before we declare defeat.
             yield self.env.timeout(self.policy.interval(self.attempts - 1))

@@ -18,6 +18,7 @@ from typing import TYPE_CHECKING, Optional
 
 from repro.net.headers import IpHeader, TcpHeader
 from repro.net.packet import Packet, PacketType
+from repro.obs import api as obs
 from repro.transport.agents import Agent
 from repro.transport.udp import ReceivedRecord
 
@@ -81,6 +82,10 @@ class TcpAgent(Agent):
         self.retransmits = 0
         self.timeouts = 0
         self.bytes_sent = 0
+        self._obs_sent = obs.counter("tcp.segments.sent")
+        self._obs_retx = obs.counter("tcp.retransmits")
+        self._obs_timeouts = obs.counter("tcp.timeouts")
+        self._obs_rtt = obs.histogram("tcp.rtt")
         #: True while the application allows transmission (start/stop gate).
         self.running = True
 
@@ -166,9 +171,11 @@ class TcpAgent(Agent):
         )
         pkt.meta["retransmit"] = retransmit
         self.segments_sent += 1
+        self._obs_sent.inc()
         self.bytes_sent += pkt.size
         if retransmit:
             self.retransmits += 1
+            self._obs_retx.inc()
             if self._rtt_seq == seqno:
                 self._rtt_seq = None  # Karn: never time a retransmission
         elif self._rtt_seq is None:
@@ -231,6 +238,7 @@ class TcpAgent(Agent):
     # -- RTT estimation --------------------------------------------------------------------
 
     def _rtt_sample(self, sample: float) -> None:
+        self._obs_rtt.observe(sample)
         if self.srtt is None:
             self.srtt = sample
             self.rttvar = sample / 2.0
@@ -262,6 +270,7 @@ class TcpAgent(Agent):
 
     def _timeout(self) -> None:
         self.timeouts += 1
+        self._obs_timeouts.inc()
         self.ssthresh = max(self.effective_window / 2.0, 2.0)
         self.cwnd = 1.0
         self.dupacks = 0

@@ -241,6 +241,48 @@ class TestSim007:
         assert codes(src) == []
 
 
+# -- SIM008: malformed metric names -------------------------------------------
+
+
+class TestSim008:
+    def test_uppercase_flagged(self):
+        assert codes('c = obs.counter("Mac.Sent")\n') == ["SIM008"]
+
+    def test_space_flagged(self):
+        assert codes('h = registry.histogram("mac dcf wait")\n') == ["SIM008"]
+
+    def test_leading_dot_flagged(self):
+        assert codes('g = gauge(".queue.depth")\n') == ["SIM008"]
+
+    def test_trailing_dot_flagged(self):
+        assert codes('g = gauge("queue.depth.")\n') == ["SIM008"]
+
+    def test_leading_digit_flagged(self):
+        assert codes('c = obs.counter("1mac.sent")\n') == ["SIM008"]
+
+    def test_good_names_clean(self):
+        src = (
+            'a = obs.counter("mac.dcf.retransmissions")\n'
+            'b = obs.gauge("queue.depth")\n'
+            'c = obs.histogram("tcp.rtt")\n'
+            'd = obs.counter("phy.frames.dropped_down")\n'
+        )
+        assert codes(src) == []
+
+    def test_dynamic_name_not_flagged(self):
+        # Only literal names are statically checkable; the registry
+        # validates the rest at runtime.
+        assert codes('c = obs.counter(name)\n') == []
+
+    def test_unrelated_callables_not_flagged(self):
+        src = 'from collections import Counter\nc = Counter("Ab Cd")\n'
+        assert codes(src) == []
+
+    def test_suppressed(self):
+        src = 'c = obs.counter("Bad.Name")  # simlint: disable=SIM008\n'
+        assert codes(src) == []
+
+
 # -- suppression mechanics ----------------------------------------------------
 
 

@@ -18,6 +18,7 @@ def test_fixture_tree_violates_every_rule():
     found_codes = {d.code for d in findings}
     assert found_codes == {
         "SIM001", "SIM002", "SIM003", "SIM004", "SIM005", "SIM006", "SIM007",
+        "SIM008",
     }
     # Every diagnostic carries a real location.
     for diag in findings:
@@ -52,7 +53,7 @@ def test_cli_list_rules(capsys):
     assert cli_main(["lint", "--list-rules"]) == 0
     out = capsys.readouterr().out
     codes = ("SIM001", "SIM002", "SIM003", "SIM004", "SIM005", "SIM006",
-             "SIM007")
+             "SIM007", "SIM008")
     for code in codes:
         assert code in out
 

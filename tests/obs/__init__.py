@@ -1,0 +1,1 @@
+"""Tests for the cross-layer observability package."""

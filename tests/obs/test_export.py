@@ -1,0 +1,159 @@
+"""Tests for the inspect exporters (JSONL/CSV) and table renderers."""
+
+from __future__ import annotations
+
+import csv
+import json
+
+from repro.net.headers import IpHeader, MacHeader
+from repro.net.packet import Packet, PacketType
+from repro.obs.export import (
+    render_dwell_table,
+    render_journey,
+    render_journeys_summary,
+    render_metrics_table,
+    write_heartbeats_jsonl,
+    write_journeys_csv,
+    write_journeys_jsonl,
+    write_metrics_csv,
+    write_metrics_jsonl,
+)
+from repro.obs.journey import JourneyTracker
+from repro.obs.registry import MetricRegistry
+
+
+def make_registry():
+    registry = MetricRegistry()
+    registry.counter("mac.drops").inc(3)
+    registry.gauge("queue.depth").set(2.5)
+    histogram = registry.histogram("tcp.rtt")
+    histogram.observe(0.01)
+    histogram.observe(0.03)
+    registry.sampler("phy.idle", lambda: 9.0)
+    return registry
+
+
+def make_tracker():
+    tracker = JourneyTracker()
+    pkt = Packet(
+        ptype=PacketType.TCP,
+        size=1040,
+        ip=IpHeader(src=0, dst=1),
+        mac=MacHeader(src=0, dst=1),
+    )
+    tracker.record("s", 0.0, 0, "AGT", pkt)
+    tracker.record("s", 0.01, 0, "RTR", pkt)
+    tracker.record("x", 0.02, 0, "MAC", pkt)
+    tracker.record("s", 0.05, 0, "MAC", pkt)
+    tracker.record("r", 0.06, 1, "MAC", pkt)
+    tracker.record("r", 0.06, 1, "AGT", pkt)
+    stuck = Packet(
+        ptype=PacketType.CBR,
+        size=500,
+        ip=IpHeader(src=2, dst=3),
+        mac=MacHeader(src=2, dst=3),
+    )
+    tracker.record("s", 0.2, 2, "AGT", stuck)
+    return tracker
+
+
+class TestWriters:
+    def test_metrics_jsonl(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        count = write_metrics_jsonl(make_registry(), str(path))
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        assert count == len(records) == 4
+        by_name = {record["name"]: record for record in records}
+        assert by_name["mac.drops"]["type"] == "counter"
+        assert by_name["mac.drops"]["value"] == 3
+        assert by_name["tcp.rtt"]["count"] == 2
+        assert by_name["phy.idle"]["sampled"] is True
+
+    def test_metrics_csv(self, tmp_path):
+        path = tmp_path / "m.csv"
+        count = write_metrics_csv(make_registry(), str(path))
+        with open(path, newline="") as fh:
+            rows = list(csv.reader(fh))
+        assert rows[0] == ["name", "value"]
+        assert count == len(rows) - 1 == 4
+        values = {name: value for name, value in rows[1:]}
+        assert float(values["queue.depth"]) == 2.5
+        assert float(values["tcp.rtt"]) == 2.0  # histogram -> count
+
+    def test_journeys_jsonl(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        count = write_journeys_jsonl(make_tracker(), str(path))
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        assert count == len(records) == 2
+        delivered = records[0]
+        assert delivered["ptype"] == "tcp"
+        assert delivered["delivered"] is True
+        assert delivered["retries"] == 1
+        assert [hop["event"] for hop in delivered["hops"]] == [
+            "s", "s", "x", "s", "r", "r",
+        ]
+        assert records[1]["delivered"] is False
+        assert records[1]["delay"] is None
+
+    def test_journeys_csv(self, tmp_path):
+        path = tmp_path / "j.csv"
+        count = write_journeys_csv(make_tracker(), str(path))
+        with open(path, newline="") as fh:
+            rows = list(csv.DictReader(fh))
+        assert count == len(rows) == 2
+        assert rows[0]["ptype"] == "tcp"
+        assert rows[0]["delivered"] == "1"
+        assert rows[0]["hops"] == "6"
+        assert float(rows[0]["delay"]) > 0
+        assert rows[1]["delivered"] == "0"
+        assert rows[1]["delay"] == ""
+
+    def test_heartbeats_jsonl(self, tmp_path):
+        path = tmp_path / "h.jsonl"
+        records = [{"seq": 0, "sim_time": 1.0}, {"seq": 1, "sim_time": 2.0}]
+        assert write_heartbeats_jsonl(records, str(path)) == 2
+        back = [json.loads(line) for line in path.read_text().splitlines()]
+        assert back == records
+
+
+class TestRenderers:
+    def test_metrics_table(self):
+        text = render_metrics_table(make_registry())
+        assert "mac.drops" in text and "counter" in text
+        assert "tcp.rtt" in text and "n=2" in text
+        assert "gauge*" in text and "sampled at snapshot time" in text
+
+    def test_dwell_table_orders_layers(self):
+        dwell = {
+            "air": {"count": 1.0, "total": 0.01, "mean": 0.01, "max": 0.01},
+            "mac": {"count": 2.0, "total": 0.2, "mean": 0.1, "max": 0.15},
+        }
+        text = render_dwell_table(dwell)
+        lines = text.splitlines()
+        assert "layer" in lines[0] and "mean ms" in lines[0]
+        # Stack order, not alphabetical: mac before air.
+        assert lines[2].startswith("mac")
+        assert lines[3].startswith("air")
+
+    def test_render_journey_delivered(self):
+        journey = make_tracker().journeys()[0]
+        text = render_journey(journey)
+        assert "tcp" in text and "0 -> 1" in text
+        assert "delivered in 60.000 ms" in text
+        assert "1 MAC retries" in text
+        assert "dwell:" in text and "mac=" in text
+
+    def test_render_journey_in_flight(self):
+        journey = make_tracker().journeys()[1]
+        text = render_journey(journey)
+        assert "in flight" in text
+        assert "dwell: (undelivered)" in text
+
+    def test_summary_counts_and_slowest(self):
+        text = render_journeys_summary(make_tracker())
+        assert "2 journeys tracked (1 delivered" in text
+        assert "slowest delivered journeys:" in text
+        assert "0->1" in text
+
+    def test_summary_none_when_empty(self):
+        assert render_journeys_summary(JourneyTracker()) is None

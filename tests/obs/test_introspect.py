@@ -1,0 +1,105 @@
+"""Tests for the heartbeat introspector and its crash-tolerant reader."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.introspect import RunIntrospector, read_last_heartbeat
+from repro.obs.registry import MetricRegistry
+
+
+class TestHeartbeatRecords:
+    def test_records_accumulate_at_interval(self, env):
+        intro = RunIntrospector(env, interval=1.0)
+        intro.start()
+        env.run(until=5.5)
+        assert len(intro.records) == 5
+        assert [r["seq"] for r in intro.records] == [0, 1, 2, 3, 4]
+        assert [r["sim_time"] for r in intro.records] == pytest.approx(
+            [1.0, 2.0, 3.0, 4.0, 5.0]
+        )
+        for record in intro.records:
+            assert record["type"] == "heartbeat"
+            assert record["pending"] >= 0
+            assert record["wall_s"] >= 0.0
+
+    def test_start_is_idempotent(self, env):
+        intro = RunIntrospector(env, interval=1.0)
+        intro.start()
+        intro.start()  # must not spawn a second beat process
+        env.run(until=2.5)
+        assert len(intro.records) == 2
+
+    def test_stop_halts_emission(self, env):
+        intro = RunIntrospector(env, interval=1.0)
+        intro.start()
+        env.run(until=2.5)
+        intro.stop()
+        env.run(until=10.0)
+        assert len(intro.records) == 2
+
+    def test_registry_snapshot_rides_along(self, env):
+        registry = MetricRegistry()
+        registry.counter("mac.drops").inc(3)
+        intro = RunIntrospector(env, registry=registry, interval=1.0)
+        intro.start()
+        env.run(until=1.5)
+        assert intro.records[0]["metrics"] == {"mac.drops": 3.0}
+
+    def test_no_registry_means_no_metrics_key(self, env):
+        intro = RunIntrospector(env, interval=1.0)
+        intro.start()
+        env.run(until=1.5)
+        assert "metrics" not in intro.records[0]
+
+    def test_bad_interval_rejected(self, env):
+        with pytest.raises(ValueError, match="positive"):
+            RunIntrospector(env, interval=0.0)
+
+
+class TestHeartbeatFile:
+    def test_jsonl_appended_per_beat(self, env, tmp_path):
+        path = tmp_path / "hb.jsonl"
+        intro = RunIntrospector(env, interval=1.0, path=str(path))
+        intro.start()
+        env.run(until=3.5)
+        lines = path.read_text().splitlines()
+        assert len(lines) == 3
+        parsed = [json.loads(line) for line in lines]
+        assert [r["seq"] for r in parsed] == [0, 1, 2]
+        assert parsed == intro.records
+
+
+class TestReadLastHeartbeat:
+    def test_missing_file_is_none(self, tmp_path):
+        assert read_last_heartbeat(str(tmp_path / "absent.jsonl")) is None
+
+    def test_empty_file_is_none(self, tmp_path):
+        path = tmp_path / "hb.jsonl"
+        path.write_text("")
+        assert read_last_heartbeat(str(path)) is None
+
+    def test_returns_last_record(self, tmp_path):
+        path = tmp_path / "hb.jsonl"
+        path.write_text(
+            json.dumps({"seq": 0}) + "\n" + json.dumps({"seq": 1}) + "\n"
+        )
+        assert read_last_heartbeat(str(path)) == {"seq": 1}
+
+    def test_torn_final_line_falls_back_to_previous(self, tmp_path):
+        # The writer was SIGKILL'd mid-write: the tail is invalid JSON.
+        path = tmp_path / "hb.jsonl"
+        path.write_text(json.dumps({"seq": 0}) + "\n" + '{"seq": 1, "sim')
+        assert read_last_heartbeat(str(path)) == {"seq": 0}
+
+    def test_file_with_only_a_torn_line_is_none(self, tmp_path):
+        path = tmp_path / "hb.jsonl"
+        path.write_text('{"truncated')
+        assert read_last_heartbeat(str(path)) is None
+
+    def test_non_object_lines_skipped(self, tmp_path):
+        path = tmp_path / "hb.jsonl"
+        path.write_text("[1, 2]\n" + json.dumps({"seq": 7}) + "\n42\n")
+        assert read_last_heartbeat(str(path)) == {"seq": 7}

@@ -1,0 +1,263 @@
+"""Tests for the metric registry: counters, gauges, histograms."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.obs.registry import (
+    LATENCY_EDGES,
+    NULL_COUNTER,
+    NULL_GAUGE,
+    NULL_HISTOGRAM,
+    OCCUPANCY_EDGES,
+    SLOT_EDGES,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricRegistry,
+    validate_metric_name,
+)
+
+
+class TestMetricNames:
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "mac.dcf.retransmissions",
+            "queue.occupancy",
+            "tcp.rtt",
+            "phy.frames.dropped_down",
+            "a",
+            "a1.b2_c3",
+        ],
+    )
+    def test_valid(self, name):
+        assert validate_metric_name(name) == name
+
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "Mac.Sent",       # uppercase
+            "mac dcf wait",   # spaces
+            ".queue.depth",   # leading dot
+            "queue.depth.",   # trailing dot
+            "queue..depth",   # empty segment
+            "1mac.sent",      # leading digit
+            "mac-sent",       # dash
+            "",
+        ],
+    )
+    def test_invalid(self, name):
+        with pytest.raises(ValueError, match="invalid metric name"):
+            validate_metric_name(name)
+
+
+class TestCounterGauge:
+    def test_counter_increments(self):
+        c = Counter("app.packets")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        assert c.snapshot() == {"type": "counter", "value": 5}
+
+    def test_gauge_sets(self):
+        g = Gauge("queue.depth")
+        g.set(3.5)
+        g.set(1.0)
+        assert g.value == 1.0
+        assert g.snapshot() == {"type": "gauge", "value": 1.0}
+
+
+class TestHistogramBuckets:
+    def test_value_on_edge_lands_in_that_edges_bucket(self):
+        # Prometheus `le` semantics: a value exactly equal to an edge
+        # belongs to the bucket that edge bounds.
+        h = Histogram("tcp.rtt", edges=(1.0, 2.0, 4.0))
+        for value in (1.0, 2.0, 4.0):
+            h.observe(value)
+        assert h.counts == [1, 1, 1, 0]
+
+    def test_values_between_edges(self):
+        h = Histogram("tcp.rtt", edges=(1.0, 2.0, 4.0))
+        h.observe(0.5)   # below first edge -> bucket le=1.0
+        h.observe(1.5)   # -> le=2.0
+        h.observe(3.999)  # -> le=4.0
+        assert h.counts == [1, 1, 1, 0]
+
+    def test_overflow_bucket_counts_values_above_last_edge(self):
+        h = Histogram("tcp.rtt", edges=(1.0, 2.0))
+        h.observe(2.0000001)
+        h.observe(1e9)
+        assert h.counts == [0, 0, 2]
+        assert h.snapshot()["overflow"] == 2
+
+    @pytest.mark.parametrize(
+        "bad", [float("nan"), float("inf"), float("-inf")]
+    )
+    def test_non_finite_rejected(self, bad):
+        h = Histogram("tcp.rtt", edges=(1.0,))
+        with pytest.raises(ValueError, match="non-finite"):
+            h.observe(bad)
+        # The rejection left no partial state behind.
+        assert h.count == 0 and h.counts == [0, 0]
+
+    def test_empty_edges_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            Histogram("tcp.rtt", edges=())
+
+    def test_non_finite_edges_rejected(self):
+        with pytest.raises(ValueError, match="finite"):
+            Histogram("tcp.rtt", edges=(1.0, float("inf")))
+
+    def test_non_increasing_edges_rejected(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            Histogram("tcp.rtt", edges=(1.0, 1.0, 2.0))
+
+    def test_stats_track_min_max_mean(self):
+        h = Histogram("tcp.rtt", edges=(10.0,))
+        for value in (1.0, 2.0, 6.0):
+            h.observe(value)
+        assert h.count == 3
+        assert h.min == 1.0 and h.max == 6.0
+        assert h.mean == pytest.approx(3.0)
+
+    def test_mean_of_empty_is_nan(self):
+        assert math.isnan(Histogram("tcp.rtt", edges=(1.0,)).mean)
+
+    def test_snapshot_shape(self):
+        h = Histogram("tcp.rtt", edges=(1.0, 2.0))
+        h.observe(0.5)
+        snap = h.snapshot()
+        assert snap["type"] == "histogram"
+        assert snap["count"] == 1
+        assert snap["buckets"] == [
+            {"le": 1.0, "count": 1},
+            {"le": 2.0, "count": 0},
+        ]
+
+    def test_empty_snapshot_has_null_stats(self):
+        snap = Histogram("tcp.rtt", edges=(1.0,)).snapshot()
+        assert snap["min"] is None and snap["max"] is None
+        assert snap["mean"] is None
+
+
+class TestHistogramQuantile:
+    def test_quantile_clamps_to_observed_range(self):
+        h = Histogram("tcp.rtt", edges=(10.0,))
+        h.observe(2.0)
+        h.observe(4.0)
+        assert 2.0 <= h.quantile(0.5) <= 4.0
+        assert h.quantile(0.0) >= 2.0
+        assert h.quantile(1.0) <= 4.0
+
+    def test_quantile_of_empty_is_nan(self):
+        assert math.isnan(Histogram("tcp.rtt", edges=(1.0,)).quantile(0.5))
+
+    def test_quantile_out_of_range_rejected(self):
+        h = Histogram("tcp.rtt", edges=(1.0,))
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+    def test_quantile_single_value(self):
+        h = Histogram("tcp.rtt", edges=(1.0, 2.0))
+        h.observe(1.5)
+        assert h.quantile(0.5) == pytest.approx(1.5)
+
+
+class TestStandardEdges:
+    @pytest.mark.parametrize(
+        "edges", [LATENCY_EDGES, SLOT_EDGES, OCCUPANCY_EDGES]
+    )
+    def test_standard_edge_sets_are_valid(self, edges):
+        Histogram("x", edges=edges)  # must not raise
+
+
+class TestRegistry:
+    def test_get_or_create_shares_instruments(self):
+        reg = MetricRegistry()
+        assert reg.counter("mac.drops") is reg.counter("mac.drops")
+        assert reg.gauge("queue.depth") is reg.gauge("queue.depth")
+        assert reg.histogram("tcp.rtt") is reg.histogram("tcp.rtt")
+
+    def test_kind_conflict_rejected(self):
+        reg = MetricRegistry()
+        reg.counter("mac.drops")
+        with pytest.raises(ValueError, match="not a gauge"):
+            reg.gauge("mac.drops")
+        with pytest.raises(ValueError, match="not a histogram"):
+            reg.histogram("mac.drops")
+        reg.histogram("tcp.rtt")
+        with pytest.raises(ValueError, match="not a counter"):
+            reg.counter("tcp.rtt")
+
+    def test_histogram_edge_conflict_rejected(self):
+        reg = MetricRegistry()
+        reg.histogram("tcp.rtt", edges=(1.0, 2.0))
+        with pytest.raises(ValueError, match="already registered"):
+            reg.histogram("tcp.rtt", edges=(1.0, 3.0))
+
+    def test_invalid_name_rejected_at_registration(self):
+        reg = MetricRegistry()
+        with pytest.raises(ValueError, match="invalid metric name"):
+            reg.counter("Bad.Name")
+
+    def test_sampler_evaluated_lazily_at_snapshot(self):
+        reg = MetricRegistry()
+        state = {"depth": 1.0}
+        reg.sampler("queue.depth", lambda: state["depth"])
+        state["depth"] = 7.0
+        snap = reg.snapshot()
+        assert snap["queue.depth"] == {
+            "type": "gauge",
+            "value": 7.0,
+            "sampled": True,
+        }
+
+    def test_sampler_and_instrument_name_collision_rejected(self):
+        reg = MetricRegistry()
+        reg.sampler("queue.depth", lambda: 0.0)
+        with pytest.raises(ValueError, match="already a sampler"):
+            reg.gauge("queue.depth")
+        reg.counter("mac.drops")
+        with pytest.raises(ValueError, match="already an instrument"):
+            reg.sampler("mac.drops", lambda: 0.0)
+
+    def test_compact_scalar_view(self):
+        reg = MetricRegistry()
+        reg.counter("mac.drops").inc(3)
+        reg.gauge("queue.depth").set(2.5)
+        h = reg.histogram("tcp.rtt")
+        h.observe(0.1)
+        h.observe(0.2)
+        reg.sampler("phy.idle", lambda: 9.0)
+        assert reg.compact() == {
+            "mac.drops": 3.0,
+            "phy.idle": 9.0,
+            "queue.depth": 2.5,
+            "tcp.rtt": 2.0,  # histograms compact to their count
+        }
+
+    def test_container_protocol(self):
+        reg = MetricRegistry()
+        reg.counter("mac.drops")
+        reg.sampler("phy.idle", lambda: 0.0)
+        assert "mac.drops" in reg and "phy.idle" in reg
+        assert "tcp.rtt" not in reg
+        assert len(reg) == 2
+        assert reg.names() == ["mac.drops", "phy.idle"]
+        assert reg.get("mac.drops").kind == "counter"
+        assert reg.get("phy.idle") is None  # samplers are not instruments
+
+
+class TestNullInstruments:
+    def test_null_instruments_swallow_updates(self):
+        NULL_COUNTER.inc()
+        NULL_COUNTER.inc(10)
+        NULL_GAUGE.set(5.0)
+        NULL_HISTOGRAM.observe(1.0)
+        NULL_HISTOGRAM.observe(float("nan"))  # no validation on the null path
+        assert NULL_COUNTER.value == 0
+        assert NULL_GAUGE.value == 0.0
+        assert NULL_HISTOGRAM.count == 0

@@ -100,6 +100,48 @@ def test_format_report_is_printable(smoke_report):
     assert "trial1" in text and "events/s" in text
 
 
+def test_observe_flag_reports_metrics():
+    """``observe=True`` embeds live metric snapshots; ``False`` stays lean."""
+    base = run_bench(profile="smoke", duration=1.5, repeats=1)
+    observed = run_bench(profile="smoke", duration=1.5, repeats=1, observe=True)
+    assert observed["observability"] is True
+    assert base["observability"] is False
+    for entry in observed["trials"].values():
+        # The registry really ran: the snapshot has live counters.
+        assert entry["metrics"]["channel.transmissions"] > 0
+    for entry in base["trials"].values():
+        assert "metrics" not in entry
+
+
+def test_observability_overhead_under_10_percent():
+    """ISSUE guard: full telemetry costs < 10% wall clock.
+
+    Single-arm wall-clock comparisons on a shared CI host drift by more
+    than the effect being measured, so the two arms are interleaved
+    round-by-round (slow drift hits both equally) and each arm keeps its
+    best-of-N, the same noise filter the bench itself uses.  Trial 3
+    (802.11 contention) dominates the smoke suite's wall clock and has
+    by far the most instrumented events, so it is the worst case.
+    """
+    from repro.perf.bench import bench_trial
+    from repro.core.trials import TRIAL_3
+
+    rounds = 4
+    best_base = float("inf")
+    best_observed = float("inf")
+    bench_trial(TRIAL_3, duration=1.0, repeats=1)  # warm caches/allocator
+    for _ in range(rounds):
+        plain = bench_trial(TRIAL_3, duration=3.0, repeats=1)
+        observed = bench_trial(TRIAL_3, duration=3.0, repeats=1, observe=True)
+        best_base = min(best_base, plain["wall_s"])
+        best_observed = min(best_observed, observed["wall_s"])
+    overhead = best_observed / best_base - 1.0
+    assert overhead < 0.10, (
+        f"observability overhead {100 * overhead:.1f}% exceeds the 10% "
+        f"budget ({best_observed:.3f}s vs {best_base:.3f}s)"
+    )
+
+
 def test_cli_bench_compare_exits_nonzero_on_regression(tmp_path, capsys):
     """ISSUE acceptance: --compare exits non-zero on injected slowdown."""
     report = run_bench(profile="smoke", duration=1.0, repeats=1)
