@@ -375,9 +375,9 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
-    from repro.lint.runner import run_lint
+    from repro.lint.__main__ import run_from_args
 
-    return run_lint(args.paths, list_rules=args.list_rules)
+    return run_from_args(args)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -523,17 +523,11 @@ def build_parser() -> argparse.ArgumentParser:
     lint_p = sub.add_parser(
         "lint",
         help="run simlint, the determinism/scheduling static analysis "
-        "(rules SIM001-SIM008)",
+        "(rules SIM001-SIM012; baseline, JSON and SARIF output)",
     )
-    lint_p.add_argument(
-        "paths",
-        nargs="*",
-        default=["src"],
-        help="files or directories to lint (default: src)",
-    )
-    lint_p.add_argument(
-        "--list-rules", action="store_true", help="print the rule table and exit"
-    )
+    from repro.lint.__main__ import add_lint_arguments
+
+    add_lint_arguments(lint_p)
     lint_p.set_defaults(func=_cmd_lint)
     return parser
 

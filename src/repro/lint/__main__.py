@@ -5,22 +5,75 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.lint.runner import run_lint
+from repro.lint.runner import default_paths, run_lint
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """The simlint flags, shared with the ``ebl-sim lint`` subcommand."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=None,
+        help="files or directories to lint (default: src tests examples, "
+        "whichever exist)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule table and exit"
+    )
+    parser.add_argument(
+        "--format",
+        dest="fmt",
+        choices=("text", "json", "sarif"),
+        default="text",
+        help="output format (sarif renders GitHub code-scanning annotations)",
+    )
+    parser.add_argument(
+        "--output",
+        help="write the json/sarif report to this file instead of stdout",
+    )
+    parser.add_argument(
+        "--baseline",
+        help="baseline file of accepted legacy findings "
+        "(default: .simlint-baseline.json when present)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="report every finding, ignoring any baseline file",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="record the current findings as the new baseline and exit 0",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="parse files on N threads (output is identical at any N)",
+    )
+
+
+def run_from_args(args: argparse.Namespace) -> int:
+    return run_lint(
+        args.paths if args.paths else default_paths(),
+        list_rules=args.list_rules,
+        fmt=args.fmt,
+        baseline_path=args.baseline,
+        no_baseline=args.no_baseline,
+        write_baseline=args.write_baseline,
+        jobs=max(1, args.jobs),
+        output=args.output,
+    )
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="simlint",
-        description="determinism & scheduling static analysis (SIM001-SIM008)",
+        description="determinism & scheduling static analysis (SIM001-SIM012)",
     )
-    parser.add_argument(
-        "paths", nargs="*", default=["src"], help="files or directories to lint"
-    )
-    parser.add_argument(
-        "--list-rules", action="store_true", help="print the rule table and exit"
-    )
-    args = parser.parse_args(argv)
-    return run_lint(args.paths, list_rules=args.list_rules)
+    add_lint_arguments(parser)
+    return run_from_args(parser.parse_args(argv))
 
 
 if __name__ == "__main__":

@@ -1,0 +1,156 @@
+"""Finding baseline: gate on *new* findings while legacy ones burn down.
+
+Turning a new rule on over an existing tree usually surfaces violations
+that are real but not urgent (frozen-legacy RNG fallbacks, deliberate
+idioms pending refactor).  Failing CI on all of them at once forces a
+big-bang cleanup; ignoring them forever lets new violations hide among
+the old.  The baseline is the standard middle path: a checked-in record
+of today's findings.  CI fails only on findings *not* in the baseline;
+deleting code removes its entries at the next ``--write-baseline``, so
+the file only ever shrinks ("burns down").
+
+Fingerprints are ``(path, code, hash of the stripped source line)``, with
+a count per fingerprint — robust to unrelated edits moving a finding up
+or down the file, while editing the offending line itself un-baselines
+it (the desired behaviour: you touched it, you fix it).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Optional
+
+from repro.lint.diagnostics import Diagnostic
+
+#: Default baseline location, resolved against the current directory.
+DEFAULT_BASELINE = ".simlint-baseline.json"
+
+#: Schema version written into the file.
+BASELINE_VERSION = 1
+
+
+def _line_hash(source_line: str) -> str:
+    """Short content hash of a stripped source line."""
+    return hashlib.sha256(source_line.strip().encode("utf-8")).hexdigest()[:16]
+
+
+def _normalize_path(path: str) -> str:
+    """Repo-relative posix path when under the current directory.
+
+    The baseline is applied from the repo root (CI and ``make lint`` both
+    run there); normalizing makes one checked-in file match findings
+    whether the linted paths were given relative or absolute.
+    """
+    try:
+        return Path(path).resolve().relative_to(Path.cwd()).as_posix()
+    except (ValueError, OSError):
+        return Path(path).as_posix()
+
+
+def fingerprint(diagnostic: Diagnostic, source_line: str) -> tuple[str, str, str]:
+    return (_normalize_path(diagnostic.path), diagnostic.code,
+            _line_hash(source_line))
+
+
+def _source_line(sources: dict[str, str], diagnostic: Diagnostic) -> str:
+    source = sources.get(diagnostic.path)
+    if source is None:
+        try:
+            source = Path(diagnostic.path).read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError):
+            source = ""
+        sources[diagnostic.path] = source
+    lines = source.splitlines()
+    if 1 <= diagnostic.line <= len(lines):
+        return lines[diagnostic.line - 1]
+    return ""
+
+
+@dataclass
+class Baseline:
+    """Fingerprint -> allowed count."""
+
+    entries: dict[tuple[str, str, str], int]
+
+    @classmethod
+    def from_findings(
+        cls,
+        findings: Iterable[Diagnostic],
+        sources: Optional[dict[str, str]] = None,
+    ) -> "Baseline":
+        sources = dict(sources or {})
+        entries: dict[tuple[str, str, str], int] = {}
+        for diagnostic in findings:
+            key = fingerprint(diagnostic, _source_line(sources, diagnostic))
+            entries[key] = entries.get(key, 0) + 1
+        return cls(entries)
+
+    # -- persistence -----------------------------------------------------------
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        """Read a baseline file; raises ``ValueError`` on a bad document."""
+        raw = json.loads(Path(path).read_text(encoding="utf-8"))
+        if not isinstance(raw, dict) or raw.get("version") != BASELINE_VERSION:
+            raise ValueError(
+                f"{path}: not a simlint baseline (expected version "
+                f"{BASELINE_VERSION})"
+            )
+        entries: dict[tuple[str, str, str], int] = {}
+        for file_path, file_entries in raw.get("findings", {}).items():
+            for entry in file_entries:
+                key = (file_path, entry["code"], entry["line_hash"])
+                entries[key] = int(entry.get("count", 1))
+        return cls(entries)
+
+    def write(self, path: str | Path) -> None:
+        """Write sorted, diff-friendly JSON."""
+        findings: dict[str, list[dict]] = {}
+        for (file_path, code, line_hash), count in sorted(self.entries.items()):
+            findings.setdefault(file_path, []).append(
+                {"code": code, "line_hash": line_hash, "count": count}
+            )
+        document = {
+            "version": BASELINE_VERSION,
+            "comment": (
+                "simlint baseline: pre-existing findings allowed to persist "
+                "while they burn down. Regenerate with `make lint-baseline`; "
+                "never add entries by hand."
+            ),
+            "findings": findings,
+        }
+        Path(path).write_text(
+            json.dumps(document, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+    # -- filtering -------------------------------------------------------------
+
+    def split(
+        self,
+        findings: Iterable[Diagnostic],
+        sources: Optional[dict[str, str]] = None,
+    ) -> tuple[list[Diagnostic], list[Diagnostic]]:
+        """Partition into (new, baselined), preserving order.
+
+        Each fingerprint admits at most its recorded count; extra
+        occurrences of a baselined line are *new* findings.
+        """
+        sources = dict(sources or {})
+        budget = dict(self.entries)
+        new: list[Diagnostic] = []
+        baselined: list[Diagnostic] = []
+        for diagnostic in findings:
+            key = fingerprint(diagnostic, _source_line(sources, diagnostic))
+            if budget.get(key, 0) > 0:
+                budget[key] -= 1
+                baselined.append(diagnostic)
+            else:
+                new.append(diagnostic)
+        return new, baselined
+
+    def __len__(self) -> int:
+        return sum(self.entries.values())

@@ -1,0 +1,266 @@
+"""Lightweight intra-procedural data flow for simlint rules.
+
+Rules ask three questions of a function body:
+
+* **Where did this RNG come from?**  A value is classified
+  :data:`RNG_SEEDED` when it was produced by one of the
+  ``repro.core.seeding`` factories (resolved through the import graph, so
+  aliases and ``from``-imports are understood) and :data:`RNG_RAW` when it
+  came from a bare ``random.Random(...)`` construction.
+* **Is this value's iteration order hash-dependent?**  Set displays,
+  ``set()``/``frozenset()`` calls, set comprehensions, set-algebra
+  ``BinOp``s over known sets, and names assigned from any of those are
+  :data:`UNORDERED`; so are lists *filled from* an unordered loop (the
+  one-hop taint that lets a rule see a set's order laundered through an
+  intermediate list and into ``schedule()``).
+* **Is this simulated time?**  ``env.now`` / ``self.env.now`` reads,
+  parameters named ``now``, and names assigned from either are
+  :data:`SIM_TIME`.
+
+The analysis is deliberately modest: one forward pass per function in
+statement order, names only (no attributes as assignment targets, no
+containers' element types beyond the one-hop taint above).  That bias is
+safe for a linter — unresolved expressions simply have no origin, and
+rules must treat "no origin" as "no finding".
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.lint.graph import (
+    SEEDING_FACTORIES,
+    SEEDING_MODULE,
+    ModuleInfo,
+    Project,
+)
+
+#: Value origins (string tags so rules can union them into sets).
+RNG_SEEDED = "rng-seeded"
+RNG_RAW = "rng-raw"
+UNORDERED = "unordered"
+SIM_TIME = "sim-time"
+
+#: Builtins whose result does not depend on the argument's iteration
+#: order — iterating a set *inside* these is deterministic by
+#: construction and must not be flagged.
+ORDER_INSENSITIVE_CALLS = frozenset(
+    {"sorted", "min", "max", "sum", "len", "set", "frozenset", "any", "all"}
+)
+
+
+def _is_seeding_call(call: ast.Call, module: ModuleInfo) -> bool:
+    """True when ``call`` invokes a ``repro.core.seeding`` factory."""
+    func = call.func
+    if isinstance(func, ast.Name):
+        target = module.bindings.get(func.id, "")
+        return target == f"{SEEDING_MODULE}.{func.id}" or (
+            target.startswith(f"{SEEDING_MODULE}.")
+            and target.rpartition(".")[2] in SEEDING_FACTORIES
+        )
+    if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+        base = module.bindings.get(func.value.id, "")
+        return base == SEEDING_MODULE and func.attr in SEEDING_FACTORIES
+    return False
+
+
+def _is_raw_random_call(call: ast.Call, module: ModuleInfo) -> bool:
+    """True for ``random.Random(...)`` / ``Random(...)`` constructions."""
+    func = call.func
+    if isinstance(func, ast.Attribute) and func.attr == "Random":
+        return (
+            isinstance(func.value, ast.Name)
+            and module.bindings.get(func.value.id) == "random"
+        )
+    if isinstance(func, ast.Name):
+        return module.bindings.get(func.id) == "random.Random"
+    return False
+
+
+def _is_now_attribute(node: ast.expr) -> bool:
+    """``env.now`` / ``self.env.now`` / anything ``.now`` (sim convention)."""
+    return isinstance(node, ast.Attribute) and node.attr == "now"
+
+
+@dataclass
+class FunctionFlow:
+    """Value origins for the names bound in one function (or module) body.
+
+    Built in one statement-order pass; query with :meth:`origins_of`.
+    """
+
+    module: ModuleInfo
+    project: Optional[Project] = None
+    origins: dict[str, set[str]] = field(default_factory=dict)
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def for_function(
+        cls,
+        func: ast.FunctionDef | ast.AsyncFunctionDef | ast.Module,
+        module: ModuleInfo,
+        project: Optional[Project] = None,
+    ) -> "FunctionFlow":
+        flow = cls(module=module, project=project)
+        if isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for arg in list(func.args.args) + list(func.args.kwonlyargs):
+                if arg.arg == "now":
+                    flow.origins["now"] = {SIM_TIME}
+        for stmt in func.body:
+            flow._visit(stmt)
+        return flow
+
+    def _visit(self, node: ast.stmt) -> None:
+        if isinstance(node, ast.Assign):
+            origins = self.origins_of(node.value)
+            for target in node.targets:
+                self._bind(target, origins)
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            self._bind(node.target, self.origins_of(node.value))
+        elif isinstance(node, ast.AugAssign):
+            pass  # ``x += ...`` keeps x's existing origin
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            if self.is_unordered(node.iter):
+                self._bind(node.target, {UNORDERED})
+                self._taint_appends(node)
+            for stmt in node.body + node.orelse:
+                self._visit(stmt)
+        elif isinstance(node, (ast.If, ast.While)):
+            for stmt in node.body + node.orelse:
+                self._visit(stmt)
+        elif isinstance(node, ast.Try):
+            for stmt in node.body + node.orelse + node.finalbody:
+                self._visit(stmt)
+            for handler in node.handlers:
+                for stmt in handler.body:
+                    self._visit(stmt)
+        elif isinstance(node, ast.With):
+            for stmt in node.body:
+                self._visit(stmt)
+        # Nested function/class bodies are separate scopes: skipped.
+
+    def _bind(self, target: ast.expr, origins: set[str]) -> None:
+        if isinstance(target, ast.Name):
+            if origins:
+                self.origins[target.id] = set(origins)
+            else:
+                self.origins.pop(target.id, None)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            # Unpacking a set iteration variable keeps the taint.
+            for elt in target.elts:
+                self._bind(elt, origins if UNORDERED in origins else set())
+
+    def _taint_appends(self, loop: ast.For | ast.AsyncFor) -> None:
+        """Mark lists filled inside an unordered loop as unordered too."""
+        for node in ast.walk(loop):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in ("append", "extend", "add", "insert")
+                and isinstance(node.func.value, ast.Name)
+            ):
+                self.origins.setdefault(node.func.value.id, set()).add(UNORDERED)
+
+    # -- queries ---------------------------------------------------------------
+
+    def origins_of(self, node: ast.expr) -> set[str]:
+        """The origin tags of an expression (empty when unknown)."""
+        if isinstance(node, ast.Name):
+            return set(self.origins.get(node.id, ()))
+        if isinstance(node, ast.Call):
+            if _is_seeding_call(node, self.module):
+                return {RNG_SEEDED}
+            if _is_raw_random_call(node, self.module):
+                return {RNG_RAW}
+            func = node.func
+            if (
+                isinstance(func, ast.Name)
+                and func.id in ("set", "frozenset")
+            ):
+                return {UNORDERED}
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr == "keys"
+                and not node.args
+            ):
+                return {UNORDERED}
+            return set()
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return {UNORDERED}
+        if _is_now_attribute(node):
+            return {SIM_TIME}
+        if isinstance(node, ast.BinOp):
+            left = self.origins_of(node.left)
+            right = self.origins_of(node.right)
+            combined: set[str] = set()
+            # Set algebra (s | t, s - seen) stays unordered; arithmetic
+            # on sim-time (now + delay) stays sim-time.
+            if UNORDERED in left or UNORDERED in right:
+                combined.add(UNORDERED)
+            if SIM_TIME in left or SIM_TIME in right:
+                combined.add(SIM_TIME)
+            return combined
+        if isinstance(node, ast.BoolOp):
+            # ``rng or random.Random(0)``: the value may be either operand.
+            combined = set()
+            for value in node.values:
+                combined |= self.origins_of(value)
+            return combined
+        if isinstance(node, ast.IfExp):
+            return self.origins_of(node.body) | self.origins_of(node.orelse)
+        if isinstance(node, ast.NamedExpr):
+            return self.origins_of(node.value)
+        return set()
+
+    def is_unordered(self, node: ast.expr) -> bool:
+        """True when iterating ``node`` has hash-dependent order."""
+        return UNORDERED in self.origins_of(node)
+
+    def is_sim_time(self, node: ast.expr) -> bool:
+        """True when ``node`` denotes (or derives from) simulated time."""
+        return SIM_TIME in self.origins_of(node)
+
+    def rng_origin(self, node: ast.expr) -> Optional[str]:
+        """:data:`RNG_SEEDED`, :data:`RNG_RAW` or ``None`` for an expression."""
+        origins = self.origins_of(node)
+        if RNG_RAW in origins:
+            return RNG_RAW
+        if RNG_SEEDED in origins:
+            return RNG_SEEDED
+        return None
+
+
+def iter_function_scopes(
+    tree: ast.Module,
+) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef | ast.Module]:
+    """The module body plus every (nested) function body, outermost first."""
+    yield tree
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def scope_nodes(
+    scope: ast.FunctionDef | ast.AsyncFunctionDef | ast.Module,
+) -> Iterator[ast.AST]:
+    """Every node belonging to one scope, excluding nested function bodies.
+
+    Rules that pair :func:`iter_function_scopes` with a per-scope
+    :class:`FunctionFlow` must walk with this instead of :func:`ast.walk`,
+    or every node inside a nested function is visited once per enclosing
+    scope and findings duplicate.  Default expressions and decorators of a
+    nested ``def`` evaluate in the *enclosing* scope and are yielded here.
+    """
+    stack: list[ast.AST] = list(ast.iter_child_nodes(scope))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            stack.extend(node.args.defaults)
+            stack.extend(d for d in node.args.kw_defaults if d is not None)
+            stack.extend(node.decorator_list)
+        else:
+            stack.extend(ast.iter_child_nodes(node))

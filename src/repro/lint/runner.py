@@ -1,4 +1,14 @@
-"""File discovery, orchestration and CLI entry for ``simlint``."""
+"""Discovery, whole-program orchestration and CLI entry for ``simlint``.
+
+v2 pipeline: the project loader (:mod:`repro.lint.graph`) parses every
+file once, the per-file rules (SIM001-SIM008) and whole-program rules
+(SIM009-SIM012) run over the shared parse, the baseline filter
+(:mod:`repro.lint.baseline`) separates new findings from legacy ones,
+and the selected emitter renders text, JSON or SARIF.
+
+Exit status: ``0`` clean (or every finding baselined), ``1`` new
+findings, ``2`` usage error (nonexistent path, unreadable baseline).
+"""
 
 from __future__ import annotations
 
@@ -6,32 +16,42 @@ import sys
 from pathlib import Path
 from typing import Iterable, Iterator, Optional, TextIO
 
-from repro.lint.diagnostics import Diagnostic
-from repro.lint.rules import ALL_RULES, Rule, lint_source
-
-#: Directories never descended into during discovery.
-_SKIP_DIRS = frozenset(
-    {"__pycache__", ".git", ".pytest_cache", ".mypy_cache", ".ruff_cache",
-     ".venv", "venv", "build", "dist"}
-)
+from repro.lint.baseline import DEFAULT_BASELINE, Baseline
+from repro.lint.diagnostics import Diagnostic, is_suppressed
+from repro.lint.graph import SKIP_DIRS, Project, load_project
+from repro.lint.rules import ALL_RULES, LintContext, Rule, lint_source
+from repro.lint.sarif import findings_to_json, render_sarif
+from repro.lint.xrules import ALL_PROJECT_RULES, ProjectRule
 
 
 def iter_python_files(paths: Iterable[str]) -> Iterator[Path]:
-    """Yield every ``.py`` file under ``paths`` (files are yielded as-is)."""
+    """Yield every ``.py`` file under ``paths`` (files are yielded as-is).
+
+    Skip directories (``__pycache__``, ``fixtures``, ...) are only skipped
+    *below* each given root, so explicitly pointing simlint at a fixture
+    tree still lints it.
+    """
     for raw in paths:
         path = Path(raw)
         if path.is_file():
             yield path
         elif path.is_dir():
             for candidate in sorted(path.rglob("*.py")):
-                if not any(part in _SKIP_DIRS for part in candidate.parts):
+                relative = candidate.relative_to(path)
+                if not any(part in SKIP_DIRS for part in relative.parts):
                     yield candidate
+
+
+def default_paths() -> list[str]:
+    """The conventional lint roots that exist under the current directory."""
+    found = [p for p in ("src", "tests", "examples") if Path(p).is_dir()]
+    return found or ["src"]
 
 
 def lint_file(
     path: Path, rules: Optional[tuple[Rule, ...]] = None
 ) -> list[Diagnostic]:
-    """Lint one file; unreadable/unparsable files become SIM000 findings."""
+    """Lint one file with the per-file rules only (no project context)."""
     display = path.as_posix()
     try:
         source = path.read_text(encoding="utf-8")
@@ -51,26 +71,83 @@ def lint_file(
         ]
 
 
+def lint_project(
+    paths: Iterable[str],
+    rules: Optional[tuple[Rule, ...]] = None,
+    project_rules: Optional[tuple[ProjectRule, ...]] = None,
+    jobs: int = 1,
+) -> tuple[Project, list[Diagnostic]]:
+    """Load the whole program once and run every rule over it."""
+    project = load_project(paths, jobs=jobs)
+    findings: list[Diagnostic] = list(project.load_diagnostics)
+    file_rules = ALL_RULES if rules is None else rules
+    whole_rules = ALL_PROJECT_RULES if project_rules is None else project_rules
+    for module in project.modules_in_order():
+        ctx = LintContext(path=module.path, source=module.source,
+                          tree=module.tree)
+        for rule in file_rules:
+            for diagnostic in rule.check(ctx):
+                if not is_suppressed(diagnostic, module.suppressions):
+                    findings.append(diagnostic)
+        for project_rule in whole_rules:
+            for diagnostic in project_rule.check_module(module, project):
+                if not is_suppressed(diagnostic, module.suppressions):
+                    findings.append(diagnostic)
+    return project, sorted(findings)
+
+
 def lint_paths(
     paths: Iterable[str], rules: Optional[tuple[Rule, ...]] = None
 ) -> list[Diagnostic]:
-    """Lint every Python file under ``paths``, sorted by location."""
-    findings: list[Diagnostic] = []
-    for path in iter_python_files(paths):
-        findings.extend(lint_file(path, rules=rules))
-    return sorted(findings)
+    """Whole-program lint of ``paths``; returns sorted findings."""
+    _, findings = lint_project(paths, rules=rules)
+    return findings
+
+
+def rule_catalog() -> list[tuple[str, str]]:
+    """``(code, summary)`` for every advertised rule, in code order."""
+    catalog = [(r.code, r.summary) for r in ALL_RULES]
+    catalog += [(r.code, r.summary) for r in ALL_PROJECT_RULES]
+    return catalog
+
+
+def _tool_version() -> str:
+    try:
+        from importlib.metadata import version
+
+        return version("repro")
+    except Exception:  # pragma: no cover - metadata missing in odd installs
+        return "unknown"
+
+
+def _resolve_baseline(
+    baseline_path: Optional[str], no_baseline: bool
+) -> Optional[Path]:
+    """The baseline file to apply, or ``None`` when none is in play."""
+    if no_baseline:
+        return None
+    if baseline_path is not None:
+        return Path(baseline_path)
+    default = Path(DEFAULT_BASELINE)
+    return default if default.is_file() else None
 
 
 def run_lint(
     paths: Iterable[str],
     list_rules: bool = False,
     stream: Optional[TextIO] = None,
+    fmt: str = "text",
+    baseline_path: Optional[str] = None,
+    no_baseline: bool = False,
+    write_baseline: bool = False,
+    jobs: int = 1,
+    output: Optional[str] = None,
 ) -> int:
-    """CLI driver: print diagnostics, return a shell exit status."""
+    """CLI driver: lint, filter through the baseline, render, exit status."""
     out = stream if stream is not None else sys.stdout
     if list_rules:
-        for rule in ALL_RULES:
-            print(f"{rule.code}  {rule.summary}", file=out)
+        for code, summary in rule_catalog():
+            print(f"{code}  {summary}", file=out)
         return 0
     paths = list(paths)
     missing = [p for p in paths if not Path(p).exists()]
@@ -79,16 +156,56 @@ def run_lint(
         for p in missing:
             print(f"simlint: error: no such file or directory: {p}", file=out)
         return 2
-    findings = lint_paths(paths)
+
+    project, findings = lint_project(paths, jobs=jobs)
+    sources = {m.path: m.source for m in project.modules.values()}
+
+    if write_baseline:
+        target = Path(baseline_path or DEFAULT_BASELINE)
+        Baseline.from_findings(findings, sources).write(target)
+        print(
+            f"simlint: baseline written to {target} "
+            f"({len(findings)} finding(s) recorded)",
+            file=out,
+        )
+        return 0
+
+    resolved = _resolve_baseline(baseline_path, no_baseline)
+    baselined: list[Diagnostic] = []
+    if resolved is not None:
+        try:
+            baseline = Baseline.load(resolved)
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            print(f"simlint: error: cannot load baseline: {exc}", file=out)
+            return 2
+        findings, baselined = baseline.split(findings, sources)
+
+    rendered: Optional[str] = None
+    if fmt == "json":
+        rendered = findings_to_json(findings)
+    elif fmt == "sarif":
+        rendered = render_sarif(
+            findings, rule_catalog(), root=Path.cwd(),
+            tool_version=_tool_version(),
+        )
+    if rendered is not None:
+        if output is not None:
+            Path(output).write_text(rendered, encoding="utf-8")
+            print(f"simlint: wrote {fmt} report to {output}", file=out)
+        else:
+            out.write(rendered)
+        return 1 if findings else 0
+
+    # text format
     for diagnostic in findings:
         print(diagnostic.format(), file=out)
+    suffix = f" ({len(baselined)} baselined finding(s) hidden)" if baselined else ""
     if findings:
         print(
-            f"simlint: {len(findings)} finding(s) in "
-            f"{len({d.path for d in findings})} file(s)",
+            f"simlint: {len(findings)} new finding(s) in "
+            f"{len({d.path for d in findings})} file(s)" + suffix,
             file=out,
         )
         return 1
-    checked = sum(1 for _ in iter_python_files(paths))
-    print(f"simlint: {checked} file(s) clean", file=out)
+    print(f"simlint: {len(project.modules)} file(s) clean" + suffix, file=out)
     return 0

@@ -1,0 +1,155 @@
+"""Machine-readable emitters: plain JSON and SARIF 2.1.0.
+
+SARIF is what GitHub code scanning ingests (via
+``github/codeql-action/upload-sarif``), turning simlint findings into
+inline PR annotations.  The document targets the OASIS SARIF 2.1.0
+schema: one run, a ``tool.driver`` advertising the rule catalog, and one
+``result`` per diagnostic with a physical location.  ``ruleIndex`` is
+kept consistent with the order of the advertised rules, and artifact URIs
+are emitted repo-relative with ``%SRCROOT%`` as the base id, which is
+what code scanning expects for annotation placement.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Optional, Sequence
+
+from repro.lint.diagnostics import Diagnostic
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: Findings at these codes are tool errors/infrastructure, not rule hits.
+_NOTE_LEVEL_CODES = frozenset({"SIM000"})
+
+
+def _relative_uri(path: str, root: Optional[Path]) -> str:
+    """Repo-relative posix URI for a diagnostic path, best effort."""
+    candidate = Path(path)
+    if root is not None:
+        try:
+            return candidate.resolve().relative_to(root.resolve()).as_posix()
+        except (ValueError, OSError):
+            pass
+    return candidate.as_posix().lstrip("/")
+
+
+def findings_to_json(findings: Iterable[Diagnostic]) -> str:
+    """A stable JSON array of findings (for scripting/diffing)."""
+    payload = [
+        {
+            "path": d.path,
+            "line": d.line,
+            "col": d.col,
+            "code": d.code,
+            "message": d.message,
+        }
+        for d in findings
+    ]
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def findings_to_sarif(
+    findings: Sequence[Diagnostic],
+    rule_catalog: Sequence[tuple[str, str]],
+    tool_version: str = "2.0",
+    root: Optional[Path] = None,
+) -> dict:
+    """Build the SARIF 2.1.0 document as a dict.
+
+    ``rule_catalog`` is ``[(code, summary), ...]`` for every advertised
+    rule; codes found in ``findings`` but absent from the catalog (SIM000
+    loader diagnostics) are appended so every result's ``ruleId``
+    resolves to a driver rule.
+    """
+    codes = [code for code, _ in rule_catalog]
+    summaries = dict(rule_catalog)
+    for diagnostic in findings:
+        if diagnostic.code not in summaries:
+            codes.append(diagnostic.code)
+            summaries[diagnostic.code] = "simlint infrastructure diagnostic"
+    rule_index = {code: i for i, code in enumerate(codes)}
+
+    rules = [
+        {
+            "id": code,
+            "name": code,
+            "shortDescription": {"text": summaries[code]},
+            "helpUri": (
+                "https://github.com/ebl-repro/ebl-sim/blob/main/docs/"
+                f"STATIC_ANALYSIS.md#{code.lower()}"
+            ),
+            "defaultConfiguration": {
+                "level": "note" if code in _NOTE_LEVEL_CODES else "error"
+            },
+        }
+        for code in codes
+    ]
+    results = [
+        {
+            "ruleId": d.code,
+            "ruleIndex": rule_index[d.code],
+            "level": "note" if d.code in _NOTE_LEVEL_CODES else "error",
+            "message": {"text": f"{d.code}: {d.message}"},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": _relative_uri(d.path, root),
+                            "uriBaseId": "%SRCROOT%",
+                        },
+                        "region": {
+                            "startLine": d.line,
+                            "startColumn": d.col,
+                        },
+                    }
+                }
+            ],
+        }
+        for d in findings
+    ]
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "simlint",
+                        "organization": "ebl-repro",
+                        "version": tool_version,
+                        "informationUri": (
+                            "https://github.com/ebl-repro/ebl-sim/blob/main/"
+                            "docs/STATIC_ANALYSIS.md"
+                        ),
+                        "rules": rules,
+                    }
+                },
+                "columnKind": "unicodeCodePoints",
+                "results": results,
+            }
+        ],
+    }
+
+
+def render_sarif(
+    findings: Sequence[Diagnostic],
+    rule_catalog: Sequence[tuple[str, str]],
+    root: Optional[Path] = None,
+    tool_version: str = "2.0",
+) -> str:
+    return (
+        json.dumps(
+            findings_to_sarif(
+                findings, rule_catalog, tool_version=tool_version, root=root
+            ),
+            indent=2,
+            sort_keys=True,
+        )
+        + "\n"
+    )

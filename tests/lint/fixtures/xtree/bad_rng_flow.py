@@ -1,0 +1,12 @@
+"""SIM009 golden fixture: raw RNG injected into a component."""
+
+import random
+
+from simkit.components import NoisyMac
+
+
+def build(env, seed):
+    mac = NoisyMac(env, 1, rng=random.Random(seed * 999 + 1))  # line 9: keyword
+    stream = random.Random(seed)
+    other = NoisyMac(env, 2, stream)  # line 11: positional, via dataflow
+    return mac, other

@@ -1,0 +1,12 @@
+"""SIM011 golden fixture: float equality against simulated time."""
+
+
+def poll(env, deadline):
+    if env.now == deadline:  # line 5: direct attribute compare
+        return True
+    t = env.now + 0.5
+    return t != deadline  # line 8: derived sim-time via dataflow
+
+
+def window(now, start):
+    return now == start  # line 12: `now` parameter convention

@@ -1,0 +1,10 @@
+"""SIM012 golden fixture: seconds literals into integer-unit parameters."""
+
+from simkit import components
+from simkit.components import configure_slots, set_guard_us
+
+
+def misconfigure():
+    set_guard_us(0.25)  # line 8: seconds into *_us (positional)
+    configure_slots(num_slots=2.5)  # line 9: fractional slots (keyword)
+    components.set_guard_us(20e-6)  # line 10: module-attribute call form

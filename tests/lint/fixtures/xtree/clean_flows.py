@@ -1,0 +1,33 @@
+"""Negative cases: the same shapes done right must stay silent."""
+
+import random
+
+from repro.core.seeding import derive_rng
+from simkit.components import NoisyMac, configure_slots, set_guard_us, set_interval
+
+
+def build(env, seed):
+    good = NoisyMac(env, 1, rng=derive_rng(seed, "xtree.mac", 1))
+    local = random.Random(seed)  # constructing one locally is fine...
+    draw = local.random()  # ...and drawing from it is fine too
+    allowed = NoisyMac(env, 3, rng=random.Random(7))  # simlint: disable=SIM009
+    return good, allowed, draw
+
+
+def kickoff(env, nodes):
+    for node in sorted(set(nodes)):  # canonical order: no SIM010
+        env.schedule(node.event, 0, 0.1)
+    names = sorted(n.name for n in set(nodes))  # order-insensitive consumer
+    return names
+
+
+def poll(env, deadline):
+    if env.now >= deadline:  # ordered comparison: no SIM011
+        return True
+    return abs(env.now - deadline) < 1e-9
+
+
+def configure():
+    set_guard_us(25)  # integral literals are unit-consistent
+    configure_slots(num_slots=8)
+    set_interval(0.25)  # plain seconds parameter takes fractions

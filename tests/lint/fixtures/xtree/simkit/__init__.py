@@ -1,0 +1,5 @@
+"""Fixture package: component definitions the xtree call sites resolve to."""
+
+from simkit.components import NoisyMac, configure_slots, set_guard_us
+
+__all__ = ["NoisyMac", "configure_slots", "set_guard_us"]

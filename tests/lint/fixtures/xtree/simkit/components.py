@@ -1,0 +1,30 @@
+"""Fixture component definitions (signatures looked up cross-module)."""
+
+
+class Component:
+    def __init__(self, env, address, rng=None):
+        self.env = env
+        self.address = address
+        self._rng = rng
+
+
+class NoisyMac(Component):
+    """Inherits __init__ so signature resolution must follow the base."""
+
+    def transmit(self):
+        return self._rng.random()
+
+
+def set_guard_us(guard_us):
+    """Guard interval in integer microseconds."""
+    return int(guard_us)
+
+
+def configure_slots(num_slots):
+    """Frame size in whole slots."""
+    return num_slots
+
+
+def set_interval(interval):
+    """A plain seconds parameter: fractional literals are fine here."""
+    return interval

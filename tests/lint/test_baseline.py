@@ -1,0 +1,99 @@
+"""Baseline round-trip, count-budget and burn-down semantics."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.lint.baseline import BASELINE_VERSION, Baseline, fingerprint
+from repro.lint.diagnostics import Diagnostic
+
+
+def diag(path="pkg/mod.py", line=3, code="SIM001", message="m"):
+    return Diagnostic(path=path, line=line, col=1, code=code, message=message)
+
+
+SOURCE = "import random\n\n\nx = random.random()\n"
+SOURCES = {"pkg/mod.py": SOURCE}
+
+
+def test_round_trip_through_file(tmp_path):
+    baseline = Baseline.from_findings([diag(line=4)], SOURCES)
+    target = tmp_path / "baseline.json"
+    baseline.write(target)
+    loaded = Baseline.load(target)
+    assert loaded.entries == baseline.entries
+    assert len(loaded) == 1
+
+
+def test_written_document_is_versioned_and_sorted(tmp_path):
+    target = tmp_path / "baseline.json"
+    Baseline.from_findings(
+        [diag(line=4), diag(line=1, code="SIM002")], SOURCES
+    ).write(target)
+    document = json.loads(target.read_text())
+    assert document["version"] == BASELINE_VERSION
+    entries = document["findings"]["pkg/mod.py"]
+    assert [e["code"] for e in entries] == ["SIM001", "SIM002"]
+    assert all(e["count"] == 1 for e in entries)
+
+
+def test_split_hides_baselined_and_keeps_new():
+    baseline = Baseline.from_findings([diag(line=4)], SOURCES)
+    fresh = diag(line=1, code="SIM002")
+    new, baselined = baseline.split([diag(line=4), fresh], SOURCES)
+    assert new == [fresh]
+    assert baselined == [diag(line=4)]
+
+
+def test_baseline_survives_line_moves():
+    # The same offending line shifted two lines down still matches: the
+    # fingerprint hashes the line content, not its number.
+    moved_sources = {"pkg/mod.py": "\n\n" + SOURCE}
+    baseline = Baseline.from_findings([diag(line=4)], SOURCES)
+    new, baselined = baseline.split([diag(line=6)], moved_sources)
+    assert new == [] and len(baselined) == 1
+
+
+def test_editing_the_line_unbaselines_it():
+    baseline = Baseline.from_findings([diag(line=4)], SOURCES)
+    edited = {"pkg/mod.py": SOURCE.replace("x =", "y =")}
+    new, baselined = baseline.split([diag(line=4)], edited)
+    assert len(new) == 1 and baselined == []
+
+
+def test_count_budget_admits_exactly_recorded_occurrences():
+    # Two identical lines baselined; a third occurrence is new.
+    dup_sources = {"pkg/mod.py": "a(set(x))\na(set(x))\na(set(x))\n"}
+    recorded = [diag(line=1, code="SIM005"), diag(line=2, code="SIM005")]
+    baseline = Baseline.from_findings(recorded, dup_sources)
+    now = recorded + [diag(line=3, code="SIM005")]
+    new, baselined = baseline.split(now, dup_sources)
+    assert len(baselined) == 2
+    assert len(new) == 1
+
+
+def test_load_rejects_wrong_version(tmp_path):
+    target = tmp_path / "baseline.json"
+    target.write_text(json.dumps({"version": 99, "findings": {}}))
+    with pytest.raises(ValueError, match="expected version"):
+        Baseline.load(target)
+
+
+def test_load_rejects_non_object(tmp_path):
+    target = tmp_path / "baseline.json"
+    target.write_text("[1, 2, 3]")
+    with pytest.raises(ValueError):
+        Baseline.load(target)
+
+
+def test_fingerprint_normalizes_absolute_paths(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    mod = tmp_path / "src" / "mod.py"
+    mod.parent.mkdir()
+    mod.write_text(SOURCE)
+    relative = fingerprint(diag(path="src/mod.py", line=4), "x = 1")
+    absolute = fingerprint(diag(path=str(mod), line=4), "x = 1")
+    assert relative == absolute
+    assert relative[0] == "src/mod.py"

@@ -1,0 +1,211 @@
+"""Unit tests for the intra-procedural value-origin analysis."""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.dataflow import (
+    RNG_RAW,
+    RNG_SEEDED,
+    SIM_TIME,
+    UNORDERED,
+    FunctionFlow,
+    iter_function_scopes,
+    scope_nodes,
+)
+from repro.lint.graph import load_project
+
+
+def flow_for(tmp_path, source, func_name=None):
+    (tmp_path / "mod.py").write_text(source)
+    project = load_project([str(tmp_path)])
+    module = project.by_name["mod"]
+    scope = module.tree
+    if func_name is not None:
+        scope = next(
+            n for n in ast.walk(module.tree)
+            if isinstance(n, ast.FunctionDef) and n.name == func_name
+        )
+    return FunctionFlow.for_function(scope, module, project), module
+
+
+def name_expr(name):
+    return ast.parse(name, mode="eval").body
+
+
+class TestRngOrigins:
+    def test_seeding_factory_call_is_seeded(self, tmp_path):
+        flow, _ = flow_for(
+            tmp_path,
+            "from repro.core.seeding import derive_rng\n"
+            "def f(seed):\n"
+            "    rng = derive_rng(seed, 'mac', 0)\n",
+            "f",
+        )
+        assert flow.origins["rng"] == {RNG_SEEDED}
+
+    def test_seeding_module_attribute_call_is_seeded(self, tmp_path):
+        flow, _ = flow_for(
+            tmp_path,
+            "from repro.core import seeding\n"
+            "def f(seed):\n"
+            "    rng = seeding.derive_rng(seed, 'mac', 0)\n",
+            "f",
+        )
+        assert flow.origins["rng"] == {RNG_SEEDED}
+
+    def test_raw_random_constructions(self, tmp_path):
+        flow, _ = flow_for(
+            tmp_path,
+            "import random\n"
+            "from random import Random\n"
+            "def f(seed):\n"
+            "    a = random.Random(seed)\n"
+            "    b = Random(seed)\n",
+            "f",
+        )
+        assert flow.origins["a"] == {RNG_RAW}
+        assert flow.origins["b"] == {RNG_RAW}
+        assert flow.rng_origin(name_expr("a")) == RNG_RAW
+
+    def test_bool_op_unions_both_arms(self, tmp_path):
+        flow, _ = flow_for(
+            tmp_path,
+            "import random\n"
+            "def f(rng=None):\n"
+            "    stream = rng or random.Random(0)\n",
+            "f",
+        )
+        assert RNG_RAW in flow.origins["stream"]
+
+    def test_unknown_name_has_no_origin(self, tmp_path):
+        flow, _ = flow_for(tmp_path, "def f(x):\n    y = x\n", "f")
+        assert flow.rng_origin(name_expr("y")) is None
+
+
+class TestUnorderedOrigins:
+    def test_set_call_and_display(self, tmp_path):
+        flow, _ = flow_for(
+            tmp_path,
+            "def f(xs):\n"
+            "    a = set(xs)\n"
+            "    b = {1, 2}\n"
+            "    c = frozenset(xs)\n"
+            "    d = {x for x in xs}\n",
+            "f",
+        )
+        for name in "abcd":
+            assert flow.origins[name] == {UNORDERED}, name
+
+    def test_keys_view_unordered(self, tmp_path):
+        flow, _ = flow_for(
+            tmp_path, "def f(d):\n    ks = d.keys()\n", "f"
+        )
+        assert flow.origins["ks"] == {UNORDERED}
+
+    def test_set_algebra_binop_stays_unordered(self, tmp_path):
+        flow, _ = flow_for(
+            tmp_path,
+            "def f(xs, seen):\n"
+            "    s = set(xs)\n"
+            "    fresh = s - seen\n",
+            "f",
+        )
+        assert flow.origins["fresh"] == {UNORDERED}
+
+    def test_loop_target_and_append_taint(self, tmp_path):
+        flow, _ = flow_for(
+            tmp_path,
+            "def f(xs):\n"
+            "    out = []\n"
+            "    for x in set(xs):\n"
+            "        out.append(x)\n",
+            "f",
+        )
+        assert UNORDERED in flow.origins["x"]
+        assert UNORDERED in flow.origins["out"]
+
+    def test_sorted_reassignment_clears_taint(self, tmp_path):
+        flow, _ = flow_for(
+            tmp_path,
+            "def f(xs):\n"
+            "    s = set(xs)\n"
+            "    s = sorted(s)\n",
+            "f",
+        )
+        assert "s" not in flow.origins
+
+
+class TestSimTimeOrigins:
+    def test_now_attribute_and_arithmetic(self, tmp_path):
+        flow, _ = flow_for(
+            tmp_path,
+            "def f(env, delay):\n"
+            "    t = env.now\n"
+            "    deadline = env.now + delay\n",
+            "f",
+        )
+        assert flow.origins["t"] == {SIM_TIME}
+        assert flow.origins["deadline"] == {SIM_TIME}
+        assert flow.is_sim_time(name_expr("deadline"))
+
+    def test_now_parameter_convention(self, tmp_path):
+        flow, _ = flow_for(tmp_path, "def f(now, start):\n    pass\n", "f")
+        assert flow.origins["now"] == {SIM_TIME}
+        assert not flow.is_sim_time(name_expr("start"))
+
+
+class TestScopes:
+    SOURCE = (
+        "x = 1\n"
+        "def outer():\n"
+        "    def inner():\n"
+        "        return 2\n"
+        "    return inner\n"
+    )
+
+    def test_iter_function_scopes_yields_module_and_defs(self, tmp_path):
+        (tmp_path / "mod.py").write_text(self.SOURCE)
+        project = load_project([str(tmp_path)])
+        scopes = list(iter_function_scopes(project.by_name["mod"].tree))
+        kinds = [type(s).__name__ for s in scopes]
+        assert kinds[0] == "Module"
+        assert kinds.count("FunctionDef") == 2
+
+    def test_scope_nodes_does_not_descend_into_nested_defs(self, tmp_path):
+        (tmp_path / "mod.py").write_text(self.SOURCE)
+        project = load_project([str(tmp_path)])
+        tree = project.by_name["mod"].tree
+        module_nodes = list(scope_nodes(tree))
+        # The nested defs are yielded as boundary markers...
+        assert sum(
+            isinstance(n, ast.FunctionDef) for n in module_nodes
+        ) == 1
+        # ...but their bodies are not walked: `return 2` belongs to inner.
+        assert not any(isinstance(n, ast.Return) for n in module_nodes)
+        outer = next(
+            n for n in ast.walk(tree)
+            if isinstance(n, ast.FunctionDef) and n.name == "outer"
+        )
+        outer_nodes = list(scope_nodes(outer))
+        returns = [n for n in outer_nodes if isinstance(n, ast.Return)]
+        assert len(returns) == 1  # outer's own return, not inner's
+
+    def test_scope_nodes_yields_nested_defaults(self, tmp_path):
+        (tmp_path / "mod.py").write_text(
+            "def outer(xs):\n"
+            "    def inner(seen=set(xs)):\n"
+            "        return seen\n"
+            "    return inner\n"
+        )
+        project = load_project([str(tmp_path)])
+        outer = next(
+            n for n in ast.walk(project.by_name["mod"].tree)
+            if isinstance(n, ast.FunctionDef) and n.name == "outer"
+        )
+        calls = [n for n in scope_nodes(outer) if isinstance(n, ast.Call)]
+        # The default expression `set(xs)` evaluates in outer's scope.
+        assert any(
+            isinstance(c.func, ast.Name) and c.func.id == "set"
+            for c in calls
+        )

@@ -1,0 +1,148 @@
+"""Project loader, import graph and symbol-table tests."""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from repro.lint.graph import load_project, module_name_for
+
+
+def write_pkg(tmp_path: Path) -> Path:
+    """A small package with ``__init__``, ``__main__`` and a client module."""
+    pkg = tmp_path / "pkg"
+    pkg.mkdir()
+    (pkg / "__init__.py").write_text(
+        "from pkg.mod import Engine, helper\n"
+    )
+    (pkg / "__main__.py").write_text(
+        "from pkg.mod import helper\n\nprint(helper(1))\n"
+    )
+    (pkg / "mod.py").write_text(
+        "class Base:\n"
+        "    def __init__(self, env, rate_us):\n"
+        "        self.env = env\n"
+        "\n"
+        "class Engine(Base):\n"
+        "    def run(self, steps):\n"
+        "        return steps\n"
+        "\n"
+        "def helper(x, *, scale=1):\n"
+        "    return x * scale\n"
+    )
+    (tmp_path / "app.py").write_text(
+        "import pkg.mod as m\n"
+        "from pkg import Engine\n"
+        "\n"
+        "def boot(env):\n"
+        "    eng = Engine(env, 10)\n"
+        "    return m.helper(2, scale=3)\n"
+    )
+    return tmp_path
+
+
+def test_module_names_include_dunder_main(tmp_path):
+    write_pkg(tmp_path)
+    project = load_project([str(tmp_path)])
+    assert set(project.by_name) == {"pkg", "pkg.__main__", "pkg.mod", "app"}
+    assert not project.load_diagnostics
+
+
+def test_module_name_for_walks_init_chain(tmp_path):
+    write_pkg(tmp_path)
+    assert module_name_for(tmp_path / "pkg" / "mod.py") == "pkg.mod"
+    assert module_name_for(tmp_path / "pkg" / "__init__.py") == "pkg"
+    assert module_name_for(tmp_path / "pkg" / "__main__.py") == "pkg.__main__"
+    assert module_name_for(tmp_path / "app.py") == "app"
+
+
+def test_import_graph_edges(tmp_path):
+    write_pkg(tmp_path)
+    graph = load_project([str(tmp_path)]).import_graph()
+    assert graph["app"] == {"pkg", "pkg.mod"}
+    assert graph["pkg"] == {"pkg.mod"}
+    assert graph["pkg.__main__"] == {"pkg.mod"}
+    assert graph["pkg.mod"] == set()
+
+
+def test_symbol_tables_and_param_binding(tmp_path):
+    write_pkg(tmp_path)
+    project = load_project([str(tmp_path)])
+    mod = project.by_name["pkg.mod"]
+    helper = mod.functions["helper"]
+    assert helper.params == ("x",)
+    assert helper.kwonly == ("scale",)
+    assert helper.param_for_arg(0, None) == "x"
+    assert helper.param_for_arg(-1, "scale") == "scale"
+    assert helper.param_for_arg(5, None) is None
+    base = mod.classes["Base"]
+    assert base.init is not None and base.init.params == ("env", "rate_us")
+    assert mod.classes["Engine"].init is None  # inherited, not redefined
+
+
+def test_callee_signature_follows_imports_and_inheritance(tmp_path):
+    write_pkg(tmp_path)
+    project = load_project([str(tmp_path)])
+    app = project.by_name["app"]
+    calls = {
+        node.func.attr if isinstance(node.func, ast.Attribute)
+        else node.func.id: node
+        for node in ast.walk(app.tree)
+        if isinstance(node, ast.Call)
+    }
+    # Engine(...) resolves through pkg/__init__ re-export, then the
+    # missing __init__ resolves up the inheritance chain to Base.
+    owner, signature, cls = project.callee_signature(app, calls["Engine"])
+    assert owner.name == "pkg.mod"
+    assert cls is not None and cls.name == "Engine"
+    assert signature.params == ("env", "rate_us")
+    # m.helper(...) resolves through the `import pkg.mod as m` alias.
+    owner, signature, cls = project.callee_signature(app, calls["helper"])
+    assert (owner.name, signature.name, cls) == ("pkg.mod", "helper", None)
+
+
+def test_unresolvable_callee_is_none(tmp_path):
+    (tmp_path / "solo.py").write_text(
+        "import os\n\ndef f():\n    return os.getpid() + g()\n"
+    )
+    project = load_project([str(tmp_path)])
+    solo = project.by_name["solo"]
+    for node in ast.walk(solo.tree):
+        if isinstance(node, ast.Call):
+            assert project.callee_signature(solo, node) is None
+
+
+def test_load_diagnostics_for_bad_files(tmp_path):
+    (tmp_path / "ok.py").write_text("x = 1\n")
+    (tmp_path / "latin.py").write_bytes(b"# caf\xe9\n")
+    (tmp_path / "broken.py").write_text("def f(:\n")
+    project = load_project([str(tmp_path)])
+    assert set(project.by_name) == {"ok"}
+    messages = {d.path: d.message for d in project.load_diagnostics}
+    assert all(d.code == "SIM000" for d in project.load_diagnostics)
+    assert "not valid UTF-8" in messages[(tmp_path / "latin.py").as_posix()]
+    assert "syntax error" in messages[(tmp_path / "broken.py").as_posix()]
+
+
+def test_parallel_load_matches_serial(tmp_path):
+    write_pkg(tmp_path)
+    serial = load_project([str(tmp_path)], jobs=1)
+    threaded = load_project([str(tmp_path)], jobs=4)
+    assert list(serial.modules) == list(threaded.modules)
+    assert {m.name for m in serial.modules.values()} == {
+        m.name for m in threaded.modules.values()
+    }
+
+
+def test_relative_imports_resolve(tmp_path):
+    pkg = tmp_path / "top"
+    (pkg / "sub").mkdir(parents=True)
+    (pkg / "__init__.py").write_text("")
+    (pkg / "util.py").write_text("def u():\n    return 1\n")
+    (pkg / "sub" / "__init__.py").write_text("")
+    (pkg / "sub" / "leaf.py").write_text(
+        "from ..util import u\n\ndef l():\n    return u()\n"
+    )
+    project = load_project([str(tmp_path)])
+    graph = project.import_graph()
+    assert graph["top.sub.leaf"] == {"top.util"}

@@ -102,6 +102,13 @@ class TestSim003:
     def test_clean_zero_and_positive(self):
         assert codes("env.timeout(0)\nenv.timeout(1.5)\n") == []
 
+    def test_tests_directories_exempt(self):
+        # Kernel tests feed deliberately-invalid delays to assert the
+        # rejection path; the rule only polices simulation code.
+        src = "def test_reject(env):\n    env.timeout(-1.0)\n"
+        assert codes(src, "tests/des/test_kernel.py") == []
+        assert codes(src, "repro/des/driver.py") == ["SIM003"]
+
 
 # -- SIM004: mutable defaults -------------------------------------------------
 
@@ -168,6 +175,34 @@ class TestSim005:
             "        pass\n"
         )
         assert codes(src, HOT) == []
+
+    def test_generator_inside_sorted_clean(self):
+        # sorted() consumes the whole iterable: the set's order is gone.
+        src = "def f(s):\n    return sorted(x.addr for x in set(s))\n"
+        assert codes(src, HOT) == []
+
+    def test_generator_inside_min_clean(self):
+        src = "def f(s):\n    return min(x for x in set(s))\n"
+        assert codes(src, HOT) == []
+
+    def test_generator_inside_any_clean(self):
+        src = "def f(s, t):\n    return any(x == t for x in set(s))\n"
+        assert codes(src, HOT) == []
+
+    def test_set_comp_inside_sorted_clean(self):
+        src = "def f(s):\n    return sorted({x.addr for x in s})\n"
+        assert codes(src, HOT) == []
+
+    def test_listcomp_over_set_still_flagged(self):
+        # Not wrapped in an order-insensitive consumer: order escapes.
+        src = "def f(s):\n    return [x for x in set(s)]\n"
+        assert codes(src, HOT) == ["SIM005"]
+
+    def test_order_sensitive_consumer_still_flagged(self):
+        # list() preserves the hash order; only the known order-insensitive
+        # builtins sanitize.
+        src = "def f(s):\n    return list(x for x in set(s))\n"
+        assert codes(src, HOT) == ["SIM005"]
 
 
 # -- SIM006: bypassing schedule() ---------------------------------------------

@@ -1,0 +1,221 @@
+"""SARIF emitter tests, including validation against the 2.1.0 schema.
+
+The full OASIS schema is ~200 KB and can't be fetched in CI, so the
+validation here uses an embedded subset covering every construct simlint
+emits: document envelope, tool.driver with a rule catalog, and results
+with physical locations.  ``additionalProperties`` is left open exactly
+where the real schema leaves it open, so this subset rejects the same
+malformed documents GitHub code scanning would.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.runner import rule_catalog
+from repro.lint.sarif import findings_to_json, findings_to_sarif, render_sarif
+
+jsonschema = pytest.importorskip("jsonschema")
+
+#: Subset of the SARIF 2.1.0 schema covering everything simlint emits.
+SARIF_SCHEMA_SUBSET = {
+    "type": "object",
+    "required": ["version", "runs"],
+    "properties": {
+        "version": {"const": "2.1.0"},
+        "$schema": {"type": "string", "format": "uri"},
+        "runs": {
+            "type": "array",
+            "minItems": 1,
+            "items": {
+                "type": "object",
+                "required": ["tool"],
+                "properties": {
+                    "tool": {
+                        "type": "object",
+                        "required": ["driver"],
+                        "properties": {
+                            "driver": {
+                                "type": "object",
+                                "required": ["name"],
+                                "properties": {
+                                    "name": {"type": "string", "minLength": 1},
+                                    "version": {"type": "string"},
+                                    "informationUri": {
+                                        "type": "string", "format": "uri"
+                                    },
+                                    "rules": {
+                                        "type": "array",
+                                        "items": {
+                                            "type": "object",
+                                            "required": ["id"],
+                                            "properties": {
+                                                "id": {"type": "string"},
+                                                "shortDescription": {
+                                                    "type": "object",
+                                                    "required": ["text"],
+                                                },
+                                                "helpUri": {
+                                                    "type": "string",
+                                                    "format": "uri",
+                                                },
+                                                "defaultConfiguration": {
+                                                    "type": "object",
+                                                    "properties": {
+                                                        "level": {
+                                                            "enum": [
+                                                                "none",
+                                                                "note",
+                                                                "warning",
+                                                                "error",
+                                                            ]
+                                                        }
+                                                    },
+                                                },
+                                            },
+                                        },
+                                    },
+                                },
+                            }
+                        },
+                    },
+                    "columnKind": {
+                        "enum": ["utf16CodeUnits", "unicodeCodePoints"]
+                    },
+                    "results": {
+                        "type": "array",
+                        "items": {
+                            "type": "object",
+                            "required": ["message"],
+                            "properties": {
+                                "ruleId": {"type": "string"},
+                                "ruleIndex": {
+                                    "type": "integer", "minimum": -1
+                                },
+                                "level": {
+                                    "enum": [
+                                        "none", "note", "warning", "error"
+                                    ]
+                                },
+                                "message": {
+                                    "type": "object",
+                                    "required": ["text"],
+                                    "properties": {
+                                        "text": {"type": "string"}
+                                    },
+                                },
+                                "locations": {
+                                    "type": "array",
+                                    "items": {
+                                        "type": "object",
+                                        "properties": {
+                                            "physicalLocation": {
+                                                "type": "object",
+                                                "properties": {
+                                                    "artifactLocation": {
+                                                        "type": "object",
+                                                        "properties": {
+                                                            "uri": {
+                                                                "type": "string"
+                                                            },
+                                                            "uriBaseId": {
+                                                                "type": "string"
+                                                            },
+                                                        },
+                                                    },
+                                                    "region": {
+                                                        "type": "object",
+                                                        "properties": {
+                                                            "startLine": {
+                                                                "type": "integer",
+                                                                "minimum": 1,
+                                                            },
+                                                            "startColumn": {
+                                                                "type": "integer",
+                                                                "minimum": 1,
+                                                            },
+                                                        },
+                                                    },
+                                                },
+                                            }
+                                        },
+                                    },
+                                },
+                            },
+                        },
+                    },
+                },
+            },
+        },
+    },
+}
+
+
+def sample_findings():
+    return [
+        Diagnostic("src/repro/mac/dcf.py", 10, 5, "SIM005",
+                   "set iteration in hot path"),
+        Diagnostic("examples/demo.py", 3, 1, "SIM009",
+                   "raw RNG injected"),
+        Diagnostic("src/broken.py", 1, 1, "SIM000", "syntax error: oops"),
+    ]
+
+
+def test_sarif_document_validates_against_schema():
+    document = findings_to_sarif(
+        sample_findings(), rule_catalog(), tool_version="2.0"
+    )
+    jsonschema.validate(document, SARIF_SCHEMA_SUBSET)
+
+
+def test_empty_run_validates_too():
+    document = findings_to_sarif([], rule_catalog())
+    jsonschema.validate(document, SARIF_SCHEMA_SUBSET)
+    assert document["runs"][0]["results"] == []
+
+
+def test_rule_catalog_covers_all_advertised_codes():
+    document = findings_to_sarif(sample_findings(), rule_catalog())
+    rules = document["runs"][0]["tool"]["driver"]["rules"]
+    ids = [r["id"] for r in rules]
+    for n in range(1, 13):
+        assert f"SIM{n:03d}" in ids
+    # SIM000 is not advertised but appears in findings: appended on demand.
+    assert "SIM000" in ids
+
+
+def test_rule_index_is_consistent():
+    document = findings_to_sarif(sample_findings(), rule_catalog())
+    run = document["runs"][0]
+    ids = [r["id"] for r in run["tool"]["driver"]["rules"]]
+    for result in run["results"]:
+        assert ids[result["ruleIndex"]] == result["ruleId"]
+
+
+def test_levels_and_uri_base():
+    document = findings_to_sarif(sample_findings(), rule_catalog())
+    by_rule = {r["ruleId"]: r for r in document["runs"][0]["results"]}
+    assert by_rule["SIM005"]["level"] == "error"
+    assert by_rule["SIM000"]["level"] == "note"
+    location = by_rule["SIM005"]["locations"][0]["physicalLocation"]
+    assert location["artifactLocation"]["uriBaseId"] == "%SRCROOT%"
+    assert not location["artifactLocation"]["uri"].startswith("/")
+
+
+def test_render_sarif_is_valid_json_text():
+    text = render_sarif(sample_findings(), rule_catalog(), tool_version="2.0")
+    document = json.loads(text)
+    assert document["version"] == "2.1.0"
+    jsonschema.validate(document, SARIF_SCHEMA_SUBSET)
+
+
+def test_findings_to_json_shape():
+    payload = json.loads(findings_to_json(sample_findings()))
+    assert [entry["code"] for entry in payload] == [
+        "SIM005", "SIM009", "SIM000"
+    ]
+    assert payload[0]["path"] == "src/repro/mac/dcf.py"
+    assert payload[0]["line"] == 10 and payload[0]["col"] == 5

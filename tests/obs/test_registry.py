@@ -201,7 +201,7 @@ class TestRegistry:
     def test_invalid_name_rejected_at_registration(self):
         reg = MetricRegistry()
         with pytest.raises(ValueError, match="invalid metric name"):
-            reg.counter("Bad.Name")
+            reg.counter("Bad.Name")  # simlint: disable=SIM008
 
     def test_sampler_evaluated_lazily_at_snapshot(self):
         reg = MetricRegistry()
