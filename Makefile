@@ -1,6 +1,6 @@
 # Convenience targets for the EBL reproduction.
 
-.PHONY: install test lint lint-baseline bench bench-smoke bench-micro report figures nam sweep campaign-smoke clean
+.PHONY: install test lint lint-baseline bench bench-smoke bench-micro report figures nam sweep campaign-smoke fuzz-smoke sanitize clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -68,6 +68,20 @@ campaign-smoke:
 		--checkpoint .campaign-smoke.jsonl
 	rm -f .campaign-smoke.jsonl
 
+# Sanitized fuzzing over ~25 seed-derived scenarios (see
+# docs/ROBUSTNESS.md).  Fixed seed, so a CI failure reproduces locally
+# with the same command; failing configs are shrunk and saved next to
+# the JSON report as ready-to-run repro files.
+fuzz-smoke:
+	PYTHONPATH=src python -m repro.cli fuzz --seed 1 --count 25 \
+		--timeout 60 --output FUZZ_report.json \
+		--save-failing fuzz-failures
+
+# Run the three paper trials under the full runtime sanitizer.
+sanitize:
+	PYTHONPATH=src python -m repro.cli sanitize --trial all --duration 30
+
 clean:
 	rm -rf figures out.nam report.md .pytest_cache .benchmarks
+	rm -rf FUZZ_report.json fuzz-failures
 	find . -name __pycache__ -type d -exec rm -rf {} +

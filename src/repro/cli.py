@@ -6,9 +6,12 @@ Subcommands::
     ebl-sim report [--duration 40] [--output EXPERIMENTS.md]
     ebl-sim sweep {packet-size,platoon-size,tdma-slots}
     ebl-sim campaign --trial 1 --seeds 5 --fault-plan light [--resume]
+                     [--sanitize]
     ebl-sim bench [--profile smoke|paper] [--output BENCH_trials.json]
-                  [--compare BASELINE] [--observe]
+                  [--compare BASELINE] [--observe] [--sanitize]
     ebl-sim inspect --trial 1 [--export PREFIX]
+    ebl-sim sanitize [--trial all | --config FILE] [--fault-plan light]
+    ebl-sim fuzz --seed 1 --count 25 [--output fuzz-report.json]
     ebl-sim lint [paths ...]
 """
 
@@ -200,6 +203,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         inject_hang=args.inject_hang,
         heartbeat_dir=args.heartbeat_dir,
         heartbeat_interval=args.heartbeat_interval,
+        sanitize=args.sanitize,
     )
     if args.heartbeat_dir:
         import os
@@ -254,6 +258,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         repeats=args.repeat,
         duration=args.duration,
         observe=args.observe,
+        sanitize=args.sanitize,
     )
     print(format_report(report))
     if args.output:
@@ -380,6 +385,64 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return run_from_args(args)
 
 
+def _cmd_sanitize(args: argparse.Namespace) -> int:
+    from repro.faults.schedule import FAULT_PLAN_PRESETS
+    from repro.sanitizer.config import SanitizerConfig
+    from repro.sanitizer.fuzz import load_config
+
+    if args.config:
+        configs = [
+            load_config(args.config).with_overrides(
+                sanitize=SanitizerConfig()
+            )
+        ]
+    else:
+        numbers = (
+            sorted(TRIALS) if args.trial == "all" else [int(args.trial)]
+        )
+        configs = [
+            TRIALS[number].with_overrides(
+                duration=args.duration,
+                fault_plan=FAULT_PLAN_PRESETS[args.fault_plan],
+                sanitize=SanitizerConfig(),
+            )
+            for number in numbers
+        ]
+    dirty = 0
+    for config in configs:
+        result = run_trial(config)
+        report = result.sanitizer_report
+        if report is None:  # pragma: no cover - config enables the sanitizer
+            raise RuntimeError(f"{config.name}: sanitizer produced no report")
+        print(report.render())
+        if not report.ok:
+            dirty += 1
+    return 1 if dirty else 0
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.sanitizer.fuzz import run_fuzz
+
+    def progress(index: int, outcome) -> None:
+        marker = "ok" if outcome.status == "ok" else outcome.status.upper()
+        print(f"  config #{index:4d} {outcome.key:18s} {marker}")
+
+    report = run_fuzz(
+        seed=args.seed,
+        count=args.count,
+        timeout=args.timeout,
+        shrink_failures=not args.no_shrink,
+        max_shrink_probes=args.max_shrink_probes,
+        save_dir=args.save_failing,
+        progress=progress if not args.quiet else None,
+    )
+    print(report.render())
+    if args.output:
+        report.write(args.output)
+        print(f"fuzz report written to {args.output}")
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The ``ebl-sim`` argument parser."""
     parser = argparse.ArgumentParser(
@@ -460,6 +523,10 @@ def build_parser() -> argparse.ArgumentParser:
     camp_p.add_argument("--heartbeat-interval", type=float, default=1.0,
                         help="sim-time seconds between heartbeats "
                         "(default 1.0)")
+    camp_p.add_argument("--sanitize", action="store_true",
+                        help="run every trial under the runtime invariant "
+                        "sanitizer; violations become structured 'violation' "
+                        "outcomes in the checkpoint")
     camp_p.set_defaults(func=_cmd_campaign)
 
     bench_p = sub.add_parser(
@@ -496,6 +563,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="bench with the metric registry and journey tracker enabled "
         "(measures observability overhead; report includes metrics)",
     )
+    bench_p.add_argument(
+        "--sanitize", action="store_true",
+        help="bench with the runtime invariant sanitizer enabled "
+        "(measures sanitizer overhead; report includes violation counts)",
+    )
     bench_p.set_defaults(func=_cmd_bench)
 
     ins_p = sub.add_parser(
@@ -520,10 +592,73 @@ def build_parser() -> argparse.ArgumentParser:
     )
     ins_p.set_defaults(func=_cmd_inspect)
 
+    san_p = sub.add_parser(
+        "sanitize",
+        help="run trials under the runtime invariant sanitizer (simsan) "
+        "and report violations; exit 1 when any are found",
+    )
+    san_p.add_argument(
+        "--trial", choices=("1", "2", "3", "all"), default="all",
+        help="paper trial(s) to check (default: all)",
+    )
+    san_p.add_argument(
+        "--config", metavar="FILE",
+        help="instead of a paper trial, run a saved trial-config JSON "
+        "(as written by 'ebl-sim fuzz --save-failing')",
+    )
+    san_p.add_argument("--duration", type=float, default=30.0)
+    san_p.add_argument(
+        "--fault-plan", choices=("none", "light", "heavy"), default="none",
+        help="fault-injection preset for paper trials (ignored with "
+        "--config; default: none)",
+    )
+    san_p.set_defaults(func=_cmd_sanitize)
+
+    fuzz_p = sub.add_parser(
+        "fuzz",
+        help="generate seed-derived random scenario configs, run each "
+        "under the sanitizer, and shrink any failure to a minimal repro",
+    )
+    fuzz_p.add_argument(
+        "--seed", type=int, default=1,
+        help="root seed; the same seed reproduces the same config "
+        "sequence (default 1)",
+    )
+    fuzz_p.add_argument(
+        "--count", type=int, default=25,
+        help="number of configs to generate and run (default 25)",
+    )
+    fuzz_p.add_argument(
+        "--timeout", type=float, default=60.0,
+        help="per-config watchdog, wall-clock seconds (default 60)",
+    )
+    fuzz_p.add_argument(
+        "--output", metavar="FILE",
+        help="write the JSON fuzz report here",
+    )
+    fuzz_p.add_argument(
+        "--save-failing", metavar="DIR",
+        help="save failing configs (original + shrunk) as ready-to-run "
+        "JSON under DIR",
+    )
+    fuzz_p.add_argument(
+        "--no-shrink", action="store_true",
+        help="report failures without shrinking them",
+    )
+    fuzz_p.add_argument(
+        "--max-shrink-probes", type=int, default=150,
+        help="probe budget per shrink (default 150)",
+    )
+    fuzz_p.add_argument(
+        "--quiet", action="store_true",
+        help="suppress per-config progress lines",
+    )
+    fuzz_p.set_defaults(func=_cmd_fuzz)
+
     lint_p = sub.add_parser(
         "lint",
         help="run simlint, the determinism/scheduling static analysis "
-        "(rules SIM001-SIM012; baseline, JSON and SARIF output)",
+        "(rules SIM001-SIM013; baseline, JSON and SARIF output)",
     )
     from repro.lint.__main__ import add_lint_arguments
 

@@ -10,6 +10,7 @@ from repro.core.trials import TrialConfig
 from repro.faults.injector import FaultLogEntry
 from repro.faults.schedule import FaultSchedule
 from repro.obs.runtime import Observability
+from repro.sanitizer.violations import SanitizerReport
 from repro.stats.confidence import ConfidenceResult, mean_confidence_interval
 from repro.stats.delay import DelaySeries
 from repro.stats.summary import SeriesSummary
@@ -93,6 +94,8 @@ class TrialResult:
     fault_log: list[FaultLogEntry] = field(default_factory=list)
     #: Cross-layer telemetry (None unless the config enabled it).
     observability: Optional[Observability] = field(repr=False, default=None)
+    #: Invariant-checking report (None unless the config enabled simsan).
+    sanitizer_report: Optional[SanitizerReport] = None
 
     def platoon(self, platoon_id: int) -> PlatoonResult:
         """Platoon result by id (1 or 2)."""
@@ -184,6 +187,11 @@ def harvest(scenario: EblScenario) -> TrialResult:
         scenario.departure_time,
     )
     injector = scenario.fault_injector
+    sanitizer_report = (
+        scenario.sanitizer.finalize(scenario)
+        if scenario.sanitizer is not None
+        else None
+    )
     return TrialResult(
         config=config,
         platoon1=platoon1,
@@ -192,4 +200,5 @@ def harvest(scenario: EblScenario) -> TrialResult:
         scenario=scenario,
         fault_log=list(injector.log) if injector is not None else [],
         observability=scenario.observability,
+        sanitizer_report=sanitizer_report,
     )

@@ -44,6 +44,7 @@ from repro.routing.aodv import Aodv, AodvParams
 from repro.routing.dsdv import Dsdv
 from repro.routing.flooding import Flooding
 from repro.routing.static_routing import StaticRouting
+from repro.sanitizer.runtime import Sanitizer
 from repro.stats.recorder import ThroughputRecorder
 from repro.trace.writer import Tracer
 
@@ -71,20 +72,33 @@ class EblScenario:
     ) -> None:
         self.config = config
         self.geometry = geometry or ScenarioGeometry()
-        self.env = Environment()
+        # The sanitizer's kernel checks turn on the event loop's strict
+        # (past-firing) mode; the label lands in SchedulingError messages.
+        self.env = Environment(
+            strict=config.sanitize is not None and config.sanitize.kernel
+        )
+        self.env.label = config.name
         self.tracer = Tracer() if config.enable_trace else None
         # Observability is activated for the span of stack construction
         # only: components bind their instruments as they are built (the
         # channel below is instrumented too, hence activation comes
         # first), and the ``finally`` guarantees no registry leaks into a
-        # later scenario built in the same process.
+        # later scenario built in the same process.  The sanitizer follows
+        # the identical lifecycle.
         self.observability = (
             Observability(config.observability, self.env)
             if config.observability is not None
             else None
         )
+        self.sanitizer = (
+            Sanitizer(config.sanitize, self.env, scenario_name=config.name)
+            if config.sanitize is not None
+            else None
+        )
         if self.observability is not None:
             self.observability.activate()
+        if self.sanitizer is not None:
+            self.sanitizer.activate()
         try:
             self.channel = WirelessChannel(self.env)
             # Scenario-level stream; components below derive their own named
@@ -98,6 +112,8 @@ class EblScenario:
             self._schedule_movements()
             self._build_faults(fault_schedule)
         finally:
+            if self.sanitizer is not None:
+                self.sanitizer.deactivate()
             if self.observability is not None:
                 self.observability.deactivate()
 

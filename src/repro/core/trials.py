@@ -21,6 +21,7 @@ from typing import Optional
 from repro.faults.schedule import FaultPlan
 from repro.mobility.kinematics import mph_to_mps
 from repro.obs.config import ObservabilityConfig
+from repro.sanitizer.config import SanitizerConfig
 
 #: Valid MAC selections.
 MAC_TYPES = ("tdma", "802.11", "csma", "edca")
@@ -99,6 +100,10 @@ class TrialConfig:
     #: None disables it entirely — the no-op fast path.  Enabling it is
     #: guaranteed not to perturb results (see docs/OBSERVABILITY.md).
     observability: Optional[ObservabilityConfig] = None
+    #: Runtime invariant checking (simsan); None disables it entirely —
+    #: the same no-op fast path as observability.  Enabling it is
+    #: guaranteed not to perturb results (see docs/ROBUSTNESS.md).
+    sanitize: Optional[SanitizerConfig] = None
 
     def __post_init__(self) -> None:
         if self.packet_size <= 0:

@@ -39,6 +39,14 @@ class Environment:
         self._active_proc: Optional[Process] = None
         #: Events processed so far (the bench harness's events/sec metric).
         self.events_processed = 0
+        #: Scenario/trial name, stamped by the scenario builder so
+        #: :class:`SchedulingError` messages identify the failing run in
+        #: campaign failure records without a rerun.
+        self.label: Optional[str] = None
+
+    def _context_suffix(self) -> str:
+        """`` [scenario=...]`` when a label is set (error paths only)."""
+        return f" [scenario={self.label}]" if self.label else ""
 
     def __repr__(self) -> str:
         return f"<Environment(now={self._now}, pending={len(self._queue)})>"
@@ -113,14 +121,14 @@ class Environment:
         if not isfinite(delay):
             raise SchedulingError(
                 f"cannot schedule {event!r} with non-finite delay {delay!r} "
-                f"at t={self._now}",
+                f"at t={self._now}{self._context_suffix()}",
                 delay=delay,
                 now=self._now,
                 event=event,
             )
         raise SchedulingError(
             f"cannot schedule {event!r} {-delay} s in the past "
-            f"(delay={delay!r} at t={self._now})",
+            f"(delay={delay!r} at t={self._now}){self._context_suffix()}",
             delay=delay,
             now=self._now,
             event=event,
@@ -141,7 +149,7 @@ class Environment:
             raise SchedulingError(
                 f"event {event!r} fired at t={at}, {self._now - at} s in the "
                 f"past — the event heap was corrupted or bypassed "
-                f"(now={self._now})",
+                f"(now={self._now}){self._context_suffix()}",
                 delay=at - self._now,
                 now=self._now,
                 event=event,
@@ -200,7 +208,7 @@ class Environment:
                     raise SchedulingError(
                         f"event {event!r} fired at t={at}, {self._now - at} s "
                         f"in the past — the event heap was corrupted or "
-                        f"bypassed (now={self._now})",
+                        f"bypassed (now={self._now}){self._context_suffix()}",
                         delay=at - self._now,
                         now=self._now,
                         event=event,

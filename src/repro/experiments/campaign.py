@@ -35,12 +35,14 @@ from repro.core.trials import TrialConfig
 from repro.faults.schedule import FaultPlan
 from repro.obs.config import ObservabilityConfig
 from repro.obs.introspect import read_last_heartbeat
+from repro.sanitizer.config import SanitizerConfig
 
 #: Synthetic trial kinds used to exercise the campaign's failure paths.
 TRIAL_KINDS = ("trial", "inject-crash", "inject-hang")
 
-#: Trial statuses a campaign can record.
-STATUSES = ("ok", "error", "timeout")
+#: Trial statuses a campaign can record.  ``violation`` means the trial
+#: completed but its runtime sanitizer (simsan) found broken invariants.
+STATUSES = ("ok", "error", "timeout", "violation")
 
 
 @dataclass(frozen=True)
@@ -70,6 +72,11 @@ class TrialOutcome:
     status: str
     metrics: dict = field(default_factory=dict)
     error: str = ""
+    #: Structured invariant violations (sanitizing campaigns only); each
+    #: entry is an :meth:`InvariantViolation.to_dict` record carrying the
+    #: scenario name, sim-time and offending uid, so the failure is
+    #: actionable straight from the checkpoint, without a rerun.
+    violations: list = field(default_factory=list)
     #: Wall-clock seconds the trial's subprocess ran.
     elapsed: float = 0.0
     #: True when this outcome was loaded from a checkpoint, not re-run.
@@ -77,15 +84,16 @@ class TrialOutcome:
 
     def to_json(self) -> str:
         """One checkpoint line."""
-        return json.dumps(
-            {
-                "key": self.key,
-                "status": self.status,
-                "metrics": self.metrics,
-                "error": self.error,
-                "elapsed": self.elapsed,
-            }
-        )
+        record = {
+            "key": self.key,
+            "status": self.status,
+            "metrics": self.metrics,
+            "error": self.error,
+            "elapsed": self.elapsed,
+        }
+        if self.violations:
+            record["violations"] = self.violations
+        return json.dumps(record)
 
     @classmethod
     def from_json(cls, line: str) -> "TrialOutcome":
@@ -95,6 +103,7 @@ class TrialOutcome:
             status=data["status"],
             metrics=dict(data.get("metrics", {})),
             error=data.get("error", ""),
+            violations=list(data.get("violations", [])),
             elapsed=float(data.get("elapsed", 0.0)),
         )
         if outcome.status not in STATUSES:
@@ -171,6 +180,17 @@ def _worker(trial: CampaignTrial, results: multiprocessing.Queue) -> None:
             while True:  # exceed any watchdog; the parent will kill us
                 time.sleep(3600)
         result = run_trial(trial.config)
+        report = result.sanitizer_report
+        if report is not None and not report.ok:
+            results.put(
+                {
+                    "status": "violation",
+                    "metrics": _trial_metrics(result),
+                    "violations": [v.to_dict() for v in report.violations],
+                    "error": report.render(),
+                }
+            )
+            return
         results.put({"status": "ok", "metrics": _trial_metrics(result)})
     except BaseException:
         # The traceback travels up as data; re-raising would only spray it
@@ -317,6 +337,15 @@ def run_campaign(
                     metrics=payload["metrics"],
                     elapsed=elapsed,
                 )
+            elif payload["status"] == "violation":
+                outcome = TrialOutcome(
+                    key=trial.key,
+                    status="violation",
+                    metrics=payload["metrics"],
+                    error=payload["error"],
+                    violations=payload["violations"],
+                    elapsed=elapsed,
+                )
             else:
                 outcome = TrialOutcome(
                     key=trial.key,
@@ -341,13 +370,18 @@ def campaign_trials(
     inject_hang: bool = False,
     heartbeat_dir: Optional[Union[str, Path]] = None,
     heartbeat_interval: float = 1.0,
+    sanitize: bool = False,
 ) -> list[CampaignTrial]:
     """One trial per seed over ``base``, plus optional synthetic failures.
 
     With ``heartbeat_dir`` set, each trial runs with the introspector on,
     appending heartbeats to ``<dir>/<key>.heartbeat.jsonl`` — the
-    watchdog then reports how far a killed trial had progressed.
+    watchdog then reports how far a killed trial had progressed.  With
+    ``sanitize`` True, every trial runs under the full runtime sanitizer
+    and invariant violations surface as structured ``violation`` records.
     """
+    sanitize_config = SanitizerConfig() if sanitize else base.sanitize
+
     def observability(key: str) -> Optional[ObservabilityConfig]:
         if heartbeat_dir is None:
             return base.observability
@@ -367,6 +401,7 @@ def campaign_trials(
                 enable_trace=False,
                 fault_plan=fault_plan,
                 observability=observability(f"{base.name}-seed{seed}"),
+                sanitize=sanitize_config,
             ),
         )
         for seed in seeds

@@ -693,6 +693,42 @@ class MetricNameRule(Rule):
                 )
 
 
+# -- SIM013 --------------------------------------------------------------------
+
+
+class BareAssertRule(Rule):
+    """SIM013: a bare ``assert`` guarding production simulation code.
+
+    ``python -O`` compiles ``assert`` statements out wholesale, so an
+    invariant written as an assert silently stops being checked the
+    moment anyone runs the optimized interpreter — the exact failure
+    mode the runtime sanitizer exists to close.  Production code should
+    raise an explicit exception (:class:`SchedulingError` or
+    ``ValueError`` with scenario context) that survives ``-O`` and
+    carries a useful message.  Tests are exempt: pytest rewrites their
+    asserts into rich failure reports and never runs under ``-O``.
+    """
+
+    code = "SIM013"
+    summary = "bare assert in production code is stripped under python -O"
+
+    def check(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        if ctx.in_tests:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Assert):
+                continue
+            where = "hot-path " if ctx.hot_path else ""
+            yield self._diag(
+                ctx,
+                node,
+                f"assert is compiled out under 'python -O', so this "
+                f"{where}invariant silently disappears; raise an explicit "
+                "exception (e.g. SchedulingError or ValueError with "
+                "scenario context) instead",
+            )
+
+
 #: The registry, in code order.
 ALL_RULES: tuple[Rule, ...] = (
     ModuleLevelRandomRule(),
@@ -703,6 +739,7 @@ ALL_RULES: tuple[Rule, ...] = (
     QueueBypassRule(),
     SilentSwallowRule(),
     MetricNameRule(),
+    BareAssertRule(),
 )
 
 

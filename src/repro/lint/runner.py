@@ -1,7 +1,7 @@
 """Discovery, whole-program orchestration and CLI entry for ``simlint``.
 
 v2 pipeline: the project loader (:mod:`repro.lint.graph`) parses every
-file once, the per-file rules (SIM001-SIM008) and whole-program rules
+file once, the per-file rules (SIM001-SIM008, SIM013) and whole-program rules
 (SIM009-SIM012) run over the shared parse, the baseline filter
 (:mod:`repro.lint.baseline`) separates new findings from legacy ones,
 and the selected emitter renders text, JSON or SARIF.

@@ -11,6 +11,7 @@ from repro.net.packet import Packet
 from repro.net.queues import DropTailQueue
 from repro.obs import api as obs
 from repro.phy.radio import WirelessPhy
+from repro.sanitizer import api as san
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.des.core import Environment
@@ -62,6 +63,7 @@ class Mac:
         self._obs_rx = obs.counter("mac.data.received")
         self._obs_drops = obs.counter("mac.drops")
         self.journeys = obs.journey_tracker()
+        self._ledger = san.packet_ledger()
         self.recv_callback: Optional[Callable[[Packet], None]] = None
         self.link_failure_callback: Optional[Callable[[Packet], None]] = None
         self.link_success_callback: Optional[Callable[[Packet], None]] = None
@@ -79,9 +81,21 @@ class Mac:
             self._process = self.env.process(self._run())
 
     def _run(self):
+        ledger = self._ledger
+        if ledger is None:
+            while True:
+                pkt = yield self.ifq.get()
+                yield from self._send_one(pkt)
+        # Sanitizing path: a packet held inside _send_one (backoff, slot
+        # wait, retries) is invisible to the end-of-trial residency walk
+        # unless the ledger knows it is in service here.
         while True:
             pkt = yield self.ifq.get()
-            yield from self._send_one(pkt)
+            ledger.mac_service_begin(self.address, pkt)
+            try:
+                yield from self._send_one(pkt)
+            finally:
+                ledger.mac_service_end(self.address, pkt)
 
     # -- subclass interface ----------------------------------------------------
 

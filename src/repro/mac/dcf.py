@@ -30,6 +30,7 @@ from repro.mac.base import Mac, PLCP_OVERHEAD
 from repro.obs import api as obs
 from repro.obs.registry import SLOT_EDGES
 from repro.phy.radio import WirelessPhy
+from repro.sanitizer import api as san
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.des.core import Environment
@@ -126,6 +127,7 @@ class Dcf80211Mac(Mac):
         self._obs_sent = obs.counter("mac.dcf.data_sent")
         self._obs_retx = obs.counter("mac.dcf.retransmissions")
         self._obs_backoff = obs.histogram("mac.dcf.backoff_slots", SLOT_EDGES)
+        self._san = san.dcf_monitor()
 
     # -- carrier sense (physical + virtual) -----------------------------------
 
@@ -200,6 +202,7 @@ class Dcf80211Mac(Mac):
         """
         slots = self._rng.randint(0, self._cw)
         self._obs_backoff.observe(slots)
+        self._san.on_backoff(self, slots)
         return slots
 
     def _mark_retry(self, pkt: Packet) -> None:
@@ -357,6 +360,7 @@ class Dcf80211Mac(Mac):
         if mac.dst not in (self.address, BROADCAST):
             # Not ours: honour the announced NAV.
             until = self.env.now + mac.duration
+            self._san.on_nav(self, until)
             if until > self._nav_until:
                 self._nav_until = until
             return

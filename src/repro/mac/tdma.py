@@ -27,6 +27,7 @@ from repro.net.queues import DropTailQueue
 from repro.mac.base import Mac, PLCP_OVERHEAD
 from repro.obs import api as obs
 from repro.phy.radio import WirelessPhy
+from repro.sanitizer import api as san
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.des.core import Environment
@@ -76,6 +77,7 @@ class TdmaMac(Mac):
         self.params = params or TdmaParams()
         self._obs_sent = obs.counter("mac.tdma.data_sent")
         self._obs_wait = obs.histogram("mac.tdma.access_wait")
+        self._san = san.tdma_monitor()
 
     # -- frame geometry ---------------------------------------------------------
 
@@ -128,6 +130,7 @@ class TdmaMac(Mac):
             # and give link-layer feedback so routing can react.
             self._notify_failure(pkt)
             return
+        self._san.on_slot_tx(self, self.env.now, duration)
         self.phy.transmit(pkt, duration)
         yield self.env.timeout(duration)
         self.stats.data_sent += 1

@@ -19,6 +19,7 @@ from repro.obs import api as obs
 from repro.perf.fastpath import FASTPATH
 from repro.phy.propagation import SPEED_OF_LIGHT, PropagationModel, TwoRayGround
 from repro.phy.radio import WirelessPhy
+from repro.sanitizer import api as san
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.des.core import Environment
@@ -36,8 +37,11 @@ class WirelessChannel:
         self.propagation = propagation or TwoRayGround()
         self._phys: list[WirelessPhy] = []
         #: Directed pairs that cannot hear each other (fault injection);
-        #: both directions are stored so membership tests stay O(1).
-        self._blocked: set[tuple[WirelessPhy, WirelessPhy]] = set()
+        #: both directions are stored so membership tests stay O(1).  The
+        #: value is an outage refcount: two overlapping outages on the
+        #: same link must not resurrect it when the first one ends.
+        self._blocked: dict[tuple[WirelessPhy, WirelessPhy], int] = {}
+        self._ledger = san.packet_ledger()
         #: Channel-wide frame-loss probability in [0, 1) while degraded.
         self.loss_rate = 0.0
         self._loss_rng: Optional[random.Random] = None
@@ -93,13 +97,21 @@ class WirelessChannel:
 
     def block_link(self, a: WirelessPhy, b: WirelessPhy) -> None:
         """Make ``a`` and ``b`` mutually inaudible (link outage)."""
-        self._blocked.add((a, b))
-        self._blocked.add((b, a))
+        for pair in ((a, b), (b, a)):
+            self._blocked[pair] = self._blocked.get(pair, 0) + 1
 
     def unblock_link(self, a: WirelessPhy, b: WirelessPhy) -> None:
-        """Restore a link previously taken down by :meth:`block_link`."""
-        self._blocked.discard((a, b))
-        self._blocked.discard((b, a))
+        """Restore a link previously taken down by :meth:`block_link`.
+
+        Refcounted: with overlapping outages on the same link, only the
+        last :meth:`unblock_link` actually restores it.
+        """
+        for pair in ((a, b), (b, a)):
+            count = self._blocked.get(pair, 0) - 1
+            if count > 0:
+                self._blocked[pair] = count
+            else:
+                self._blocked.pop(pair, None)
 
     def set_degradation(self, loss_rate: float, rng: random.Random) -> None:
         """Drop frames channel-wide with probability ``loss_rate``."""
@@ -124,10 +136,13 @@ class WirelessChannel:
             return
         params = sender.params
         blocked = self._blocked
+        ledger = self._ledger
         for receiver in self._phys:
             if receiver is sender:
                 continue
             if blocked and (sender, receiver) in blocked:
+                if ledger is not None:
+                    ledger.note(pkt, "link-blocked", self.env.now)
                 continue
             distance = sender.distance_to(receiver)
             power = self.propagation.rx_power(
@@ -141,6 +156,8 @@ class WirelessChannel:
                 system_loss=params.system_loss,
             )
             if power < receiver.params.cs_threshold:
+                if ledger is not None:
+                    ledger.note(pkt, "out-of-range", self.env.now)
                 continue
             if (
                 self._loss_rng is not None
@@ -148,6 +165,8 @@ class WirelessChannel:
             ):
                 self.degraded_losses += 1
                 self._obs_degraded.inc()
+                if ledger is not None:
+                    ledger.note(pkt, "degraded", self.env.now)
                 continue
             delay = distance / SPEED_OF_LIGHT
             self.env.process(
@@ -185,11 +204,14 @@ class WirelessChannel:
         tx_power = sender.tx_power
         sender_pos = sender.position
         loss_rng = self._loss_rng
+        ledger = self._ledger
         deliveries: list[tuple] = []
         for receiver in self._phys:
             if receiver is sender:
                 continue
             if blocked and (sender, receiver) in blocked:
+                if ledger is not None:
+                    ledger.note(pkt, "link-blocked", env.now)
                 continue
             receiver_pos = receiver.position
             entry = links.get(receiver)
@@ -228,10 +250,14 @@ class WirelessChannel:
                         power,
                     )
             if power < receiver.params.cs_threshold:
+                if ledger is not None:
+                    ledger.note(pkt, "out-of-range", env.now)
                 continue
             if loss_rng is not None and loss_rng.random() < self.loss_rate:
                 self.degraded_losses += 1
                 self._obs_degraded.inc()
+                if ledger is not None:
+                    ledger.note(pkt, "degraded", env.now)
                 continue
             deliveries.append(
                 (

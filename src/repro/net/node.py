@@ -23,6 +23,7 @@ from repro.mac.base import Mac
 from repro.mobility.base import MobilityModel
 from repro.obs import api as obs
 from repro.phy.radio import RadioParams, WirelessPhy
+from repro.sanitizer import api as san
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.des.core import Environment
@@ -53,6 +54,7 @@ class Node:
         self.mobility = mobility
         self.tracer = tracer
         self.journeys = obs.journey_tracker()
+        self._ledger = san.packet_ledger()
         self.phy = WirelessPhy(
             env,
             position_fn=lambda: mobility.position(env.now),
@@ -180,3 +182,5 @@ class Node:
             self.tracer.record(event, self.env.now, self.address, layer, pkt)
         if self.journeys is not None:
             self.journeys.record(event, self.env.now, self.address, layer, pkt)
+        if self._ledger is not None:
+            self._ledger.record(event, self.env.now, self.address, layer, pkt)

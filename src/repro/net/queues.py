@@ -17,6 +17,7 @@ from repro.des.events import Event
 from repro.net.packet import Packet
 from repro.obs import api as obs
 from repro.obs.registry import OCCUPANCY_EDGES
+from repro.sanitizer import api as san
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.des.core import Environment
@@ -55,6 +56,7 @@ class DropTailQueue:
         self._obs_enq = obs.counter("queue.enqueued")
         self._obs_drop = obs.counter("queue.dropped")
         self._obs_occ = obs.histogram("queue.occupancy", OCCUPANCY_EDGES)
+        self._san = san.queue_monitor()
 
     def __len__(self) -> int:
         return len(self._items)
@@ -82,6 +84,7 @@ class DropTailQueue:
         self._insert(pkt)
         self.enqueued += 1
         self._obs_enq.inc()
+        self._san.on_occupancy(self, len(self._items))
         return True
 
     def get(self) -> Event:
@@ -104,6 +107,7 @@ class DropTailQueue:
             self._drop(pkt, "IFQ")
             return False
         self._items.insert(0, pkt)
+        self._san.on_occupancy(self, len(self._items))
         return True
 
     def flush(self, reason: str = "IFQ") -> list[Packet]:

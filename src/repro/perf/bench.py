@@ -29,6 +29,7 @@ from repro.core.runner import run_trial
 from repro.core.trials import TRIAL_1, TRIAL_2, TRIAL_3, TrialConfig
 from repro.obs.config import ObservabilityConfig
 from repro.perf.fastpath import fastpath_enabled
+from repro.sanitizer.config import SanitizerConfig
 
 try:  # pragma: no cover - resource is POSIX-only
     import resource
@@ -74,24 +75,33 @@ def _peak_rss_kb() -> Optional[int]:
 
 
 def bench_trial(
-    config: TrialConfig, duration: float, repeats: int, observe: bool = False
+    config: TrialConfig,
+    duration: float,
+    repeats: int,
+    observe: bool = False,
+    sanitize: bool = False,
 ) -> dict[str, Any]:
     """Benchmark one trial config, returning its report entry.
 
     With ``observe`` the benched runs carry the full metric registry and
     journey tracker, so the entry additionally reports the compact metric
     snapshot — and the measured wall clock *includes* the observability
-    overhead (the <10% bench guard measures exactly this).
+    overhead (the <10% bench guard measures exactly this).  ``sanitize``
+    does the same for the runtime sanitizer: the wall clock includes the
+    invariant-checking overhead, and the entry reports the violation
+    count (which must be zero on the canonical trials).
     """
     cfg = config.with_overrides(
         duration=duration,
         enable_trace=False,
         observability=ObservabilityConfig() if observe else None,
+        sanitize=SanitizerConfig() if sanitize else None,
     )
     best_wall = float("inf")
     events = 0
     packets = 0
     metrics: dict[str, float] = {}
+    violations = 0
     for _ in range(max(1, repeats)):
         start = time.perf_counter()  # simlint: disable=SIM002
         result = run_trial(cfg)
@@ -104,6 +114,9 @@ def bench_trial(
             obs = result.observability
             if obs is not None and obs.registry is not None:
                 metrics = obs.registry.compact()
+            report = result.sanitizer_report
+            if report is not None:
+                violations = len(report) + report.overflow
     entry = {
         "duration_s": duration,
         "repeats": max(1, repeats),
@@ -116,6 +129,8 @@ def bench_trial(
     }
     if observe:
         entry["metrics"] = metrics
+    if sanitize:
+        entry["violations"] = violations
     return entry
 
 
@@ -125,6 +140,7 @@ def run_bench(
     duration: Optional[float] = None,
     trials: Optional[Iterable[str]] = None,
     observe: bool = False,
+    sanitize: bool = False,
 ) -> dict[str, Any]:
     """Run the bench suite and return the full report dict."""
     if profile not in PROFILES:
@@ -139,6 +155,7 @@ def run_bench(
         "profile": profile,
         "fastpath": fastpath_enabled(),
         "observability": observe,
+        "sanitizer": sanitize,
         "python": "%d.%d.%d" % sys.version_info[:3],
         "trials": {},
     }
@@ -148,6 +165,7 @@ def run_bench(
             duration if duration is not None else settings["durations"][name],
             repeats if repeats is not None else settings["repeats"],
             observe=observe,
+            sanitize=sanitize,
         )
     return report
 

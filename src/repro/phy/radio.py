@@ -16,6 +16,7 @@ from repro.net.packet import Packet
 from repro.obs import api as obs
 from repro.perf.fastpath import FASTPATH
 from repro.phy.propagation import SPEED_OF_LIGHT, PropagationModel, TwoRayGround
+from repro.sanitizer import api as san
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.des.core import Environment
@@ -149,6 +150,11 @@ class WirelessPhy:
         #: False while the node is crashed: the radio neither emits nor
         #: decodes, but stays attached so it can come back.
         self.up = True
+        #: Overlapping-crash refcount behind :meth:`fail`/:meth:`recover`:
+        #: the radio only comes back up when every outstanding failure
+        #: window has ended.
+        self._down_count = 0
+        self._ledger = san.packet_ledger()
         #: Transmit-power multiplier in (0, 1]; < 1 models a power droop.
         self.power_scale = 1.0
         #: Statistics.
@@ -190,17 +196,28 @@ class WirelessPhy:
 
     def fail(self) -> None:
         """Take the radio down (node crash): abandon all in-flight frames."""
+        self._down_count += 1
         if not self.up:
             return
         self.up = False
+        ledger = self._ledger
         for signal in self._signals:
             signal.corrupted = True
             signal.decoding = False
+            if ledger is not None:
+                ledger.note(signal.pkt, "rx-down", self.env.now)
         self._current = None
 
     def recover(self) -> None:
-        """Bring the radio back up after a crash."""
-        self.up = True
+        """Bring the radio back up after a crash.
+
+        Refcounted against :meth:`fail`: with overlapping failure windows
+        only the last :meth:`recover` actually restores the radio.
+        """
+        if self._down_count > 0:
+            self._down_count -= 1
+        if self._down_count == 0:
+            self.up = True
 
     # -- carrier sense ---------------------------------------------------------
 
@@ -240,6 +257,8 @@ class WirelessPhy:
             # Crashed node: the frame silently never makes it to the air.
             self.frames_dropped_down += 1
             self._obs_dropped_down.inc()
+            if self._ledger is not None:
+                self._ledger.note(pkt, "tx-down", self.env.now)
             return
         if self.transmitting:
             raise RuntimeError("radio is already transmitting")
@@ -247,6 +266,8 @@ class WirelessPhy:
             # Transmit stomps any in-progress reception (half duplex).
             self._current.corrupted = True
             self._current.decoding = False
+            if self._ledger is not None:
+                self._ledger.note(self._current.pkt, "rx-busy", self.env.now)
             self._current = None
         self._tx_end_time = self.env.now + duration
         self.busy_epoch += 1
@@ -272,8 +293,12 @@ class WirelessPhy:
     ) -> None:
         """Called by the channel when a signal's first bit arrives."""
         if not self.up:
+            if self._ledger is not None:
+                self._ledger.note(pkt, "rx-down", self.env.now)
             return  # crashed: deaf until recovery
         if power < self.params.cs_threshold:
+            if self._ledger is not None:
+                self._ledger.note(pkt, "out-of-range", self.env.now)
             return  # below the noise floor: invisible
         signal = _Signal(
             pkt=pkt,
@@ -308,15 +333,22 @@ class WirelessPhy:
         SINR dips below the threshold — corruption is permanent even if
         the interferer ends early (the damaged bits stay damaged).
         """
+        ledger = self._ledger
         if self.transmitting:
             signal.corrupted = True
+            if ledger is not None:
+                ledger.note(signal.pkt, "rx-busy", self.env.now)
             return
         if self._current is not None:
             current = self._current
             sinr = current.power / self._interference_for(current)
             if sinr < self.params.sinr_threshold:
                 current.corrupted = True
+                if ledger is not None:
+                    ledger.note(current.pkt, "collision", self.env.now)
             signal.corrupted = True  # receiver stays locked on current
+            if ledger is not None:
+                ledger.note(signal.pkt, "collision", self.env.now)
             return
         decodable = (
             signal.power >= self._decode_threshold(signal)
@@ -330,6 +362,8 @@ class WirelessPhy:
                 self.mac.phy_rx_start(signal.pkt)
         else:
             signal.corrupted = True
+            if ledger is not None:
+                ledger.note(signal.pkt, "undecodable", self.env.now)
 
     def _decode_threshold(self, signal: _Signal) -> float:
         """Sensitivity for this frame, honouring its transmit rate."""
@@ -338,8 +372,11 @@ class WirelessPhy:
     def _classify(self, signal: _Signal) -> None:
         """Decide whether ``signal`` becomes the decoded frame."""
         decodable = signal.power >= self._decode_threshold(signal)
+        ledger = self._ledger
         if self.transmitting:
             signal.corrupted = True
+            if ledger is not None:
+                ledger.note(signal.pkt, "rx-busy", self.env.now)
             return
         if self._current is None:
             if decodable:
@@ -349,16 +386,22 @@ class WirelessPhy:
                     self.mac.phy_rx_start(signal.pkt)
             else:
                 signal.corrupted = True
+                if ledger is not None:
+                    ledger.note(signal.pkt, "undecodable", self.env.now)
             return
         # A reception is already in progress: capture arithmetic.
         current = self._current
         if current.power >= signal.power * self.params.capture_ratio:
             # Existing frame captures; newcomer is harmless interference.
             signal.corrupted = True
+            if ledger is not None:
+                ledger.note(signal.pkt, "collision", self.env.now)
         elif decodable and signal.power >= current.power * self.params.capture_ratio:
             # Newcomer captures the receiver.
             current.corrupted = True
             current.decoding = False
+            if ledger is not None:
+                ledger.note(current.pkt, "collision", self.env.now)
             signal.decoding = True
             self._current = signal
             if self.mac is not None:
@@ -367,6 +410,9 @@ class WirelessPhy:
             # Comparable powers: both frames are destroyed.
             current.corrupted = True
             signal.corrupted = True
+            if ledger is not None:
+                ledger.note(current.pkt, "collision", self.env.now)
+                ledger.note(signal.pkt, "collision", self.env.now)
 
     def _signal_lifetime(self, signal: _Signal, duration: float):
         yield self.env.timeout(duration)
@@ -378,6 +424,8 @@ class WirelessPhy:
         if not self.up:
             # The node crashed mid-reception: no MAC upcalls, no energy
             # accounting — the frame is simply gone.
+            if self._ledger is not None:
+                self._ledger.note(signal.pkt, "rx-down", self.env.now)
             self._notify_if_idle()
             return
         if self.energy is not None and signal.power >= self._decode_threshold(
@@ -389,6 +437,8 @@ class WirelessPhy:
             if signal.corrupted or self.transmitting:
                 self.frames_corrupted += 1
                 self._obs_corrupt.inc()
+                if self._ledger is not None:
+                    self._ledger.note(signal.pkt, "collision", self.env.now)
                 if self.mac is not None:
                     self.mac.phy_rx_failed(signal.pkt, "collision")
             elif self.error_model is not None and self.error_model.corrupts(
@@ -396,6 +446,8 @@ class WirelessPhy:
             ):
                 self.frames_corrupted += 1
                 self._obs_corrupt.inc()
+                if self._ledger is not None:
+                    self._ledger.note(signal.pkt, "error-model", self.env.now)
                 if self.mac is not None:
                     self.mac.phy_rx_failed(signal.pkt, "error-model")
             else:

@@ -1,0 +1,120 @@
+"""Process-wide sanitizer context and the null-monitor fast path.
+
+Instrumented components bind their monitors at construction time::
+
+    from repro.sanitizer import api as san
+    ...
+    self._san = san.queue_monitor()
+
+While a sanitizer is active (the scenario builder activates one when its
+:class:`~repro.core.trials.TrialConfig` enables sanitizing) the proxy
+returns a live monitor; otherwise it returns the shared null monitor
+whose hook methods are no-ops.  Binding happens once per component, so
+the disabled path costs a single no-op method call per checked event —
+the same fast-path contract as :mod:`repro.obs.api`.
+
+The packet ledger is exposed as an ``Optional`` instead of a null
+object: ledger recording sits on the per-trace-event path, where an
+``is not None`` test is cheaper than a no-op method call (mirroring
+:func:`repro.obs.api.journey_tracker`).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sanitizer.ledger import PacketLedger
+    from repro.sanitizer.runtime import Sanitizer
+
+
+class _NullMonitor:
+    """Shared no-op monitor bound while the sanitizer is disabled.
+
+    One class carries every hook any protocol monitor exposes, so a
+    single shared instance serves queues, TCP agents, and MACs alike.
+    """
+
+    __slots__ = ()
+
+    def on_occupancy(self, queue: Any, occupancy: int) -> None:
+        """Queue occupancy after an insert (no-op)."""
+
+    def on_segment_sent(self, agent: Any, seqno: int) -> None:
+        """TCP sender emitted a segment (no-op)."""
+
+    def on_ack(self, agent: Any, ackno: int) -> None:
+        """TCP sender received an ACK (no-op)."""
+
+    def on_sink(self, sink: Any) -> None:
+        """TCP sink processed a data segment (no-op)."""
+
+    def on_slot_tx(self, mac: Any, start: float, duration: float) -> None:
+        """TDMA MAC began a slot transmission (no-op)."""
+
+    def on_nav(self, mac: Any, until: float) -> None:
+        """802.11 MAC updated its NAV (no-op)."""
+
+    def on_backoff(self, mac: Any, slots: int) -> None:
+        """802.11 MAC drew a backoff (no-op)."""
+
+
+NULL_MONITOR = _NullMonitor()
+
+_sanitizer: Optional["Sanitizer"] = None
+
+
+def activate(sanitizer: Optional["Sanitizer"]) -> None:
+    """Install the active sanitizer for component binding."""
+    global _sanitizer
+    _sanitizer = sanitizer
+
+
+def deactivate() -> None:
+    """Clear the active context (components bound so far stay bound)."""
+    activate(None)
+
+
+def active_sanitizer() -> Optional["Sanitizer"]:
+    """The currently active sanitizer, or None when disabled."""
+    return _sanitizer
+
+
+def is_active() -> bool:
+    """True while a sanitizer is installed."""
+    return _sanitizer is not None
+
+
+def packet_ledger() -> Optional["PacketLedger"]:
+    """The active conservation ledger, or None when disabled."""
+    if _sanitizer is None:
+        return None
+    return _sanitizer.ledger
+
+
+def queue_monitor() -> Any:
+    """The live queue monitor, or the shared null monitor."""
+    if _sanitizer is None or _sanitizer.queue_mon is None:
+        return NULL_MONITOR
+    return _sanitizer.queue_mon
+
+
+def tcp_monitor() -> Any:
+    """The live TCP monitor, or the shared null monitor."""
+    if _sanitizer is None or _sanitizer.tcp_mon is None:
+        return NULL_MONITOR
+    return _sanitizer.tcp_mon
+
+
+def tdma_monitor() -> Any:
+    """The live TDMA slot monitor, or the shared null monitor."""
+    if _sanitizer is None or _sanitizer.tdma_mon is None:
+        return NULL_MONITOR
+    return _sanitizer.tdma_mon
+
+
+def dcf_monitor() -> Any:
+    """The live 802.11 NAV/backoff monitor, or the shared null monitor."""
+    if _sanitizer is None or _sanitizer.dcf_mon is None:
+        return NULL_MONITOR
+    return _sanitizer.dcf_mon

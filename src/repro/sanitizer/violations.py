@@ -1,0 +1,109 @@
+"""Structured invariant-violation records and the per-trial report."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+
+@dataclass
+class InvariantViolation:
+    """One broken invariant, with enough context to act on it.
+
+    Every record carries the scenario name, the simulated time the
+    violation was detected at, and — when the invariant concerns a
+    packet or kernel handle — the offending uid, so a campaign failure
+    record is actionable without rerunning the trial.
+    """
+
+    #: Checker identifier, e.g. ``"packet-leak"`` or ``"tcp-ack-regress"``.
+    checker: str
+    #: Stack layer the invariant belongs to (``kernel``, ``net``,
+    #: ``mac``, ``phy``, ``routing``, ``transport``).
+    layer: str
+    #: Human-readable description of what went wrong.
+    message: str
+    #: Simulated time the violation was detected at.
+    time: float
+    #: Scenario (trial config) name; stamped by the runtime on emit.
+    scenario: str = ""
+    #: Offending packet uid, when the invariant concerns a packet.
+    uid: Optional[int] = None
+    #: Node address involved, when known.
+    node: Optional[int] = None
+    #: Journey excerpt for the offending uid (obs cross-validation).
+    journey: Optional[dict[str, Any]] = None
+
+    def __str__(self) -> str:
+        parts = [f"[{self.checker}/{self.layer}]"]
+        if self.scenario:
+            parts.append(f"scenario={self.scenario}")
+        parts.append(f"t={self.time:.6f}")
+        if self.uid is not None:
+            parts.append(f"uid={self.uid}")
+        if self.node is not None:
+            parts.append(f"node={self.node}")
+        parts.append(self.message)
+        return " ".join(parts)
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "checker": self.checker,
+            "layer": self.layer,
+            "message": self.message,
+            "time": self.time,
+            "scenario": self.scenario,
+        }
+        if self.uid is not None:
+            out["uid"] = self.uid
+        if self.node is not None:
+            out["node"] = self.node
+        if self.journey is not None:
+            out["journey"] = self.journey
+        return out
+
+
+@dataclass
+class SanitizerReport:
+    """Everything the sanitizer concluded about one trial."""
+
+    scenario: str = ""
+    violations: list[InvariantViolation] = field(default_factory=list)
+    #: Violations discarded past the ``max_violations`` cap.
+    overflow: int = 0
+    #: Checker bookkeeping (packets audited, notes recorded, ...).
+    counters: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations and self.overflow == 0
+
+    def __len__(self) -> int:
+        return len(self.violations)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "scenario": self.scenario,
+            "ok": self.ok,
+            "violations": [v.to_dict() for v in self.violations],
+            "overflow": self.overflow,
+            "counters": dict(self.counters),
+        }
+
+    def render(self) -> str:
+        """Human-readable multi-line summary."""
+        lines = [
+            f"sanitizer report — scenario={self.scenario or '?'} "
+            f"violations={len(self.violations)}"
+            + (f" (+{self.overflow} beyond cap)" if self.overflow else "")
+        ]
+        for violation in self.violations:
+            lines.append(f"  {violation}")
+        if self.counters:
+            audited = ", ".join(
+                f"{key}={value}" for key, value in sorted(self.counters.items())
+            )
+            lines.append(f"  audited: {audited}")
+        if self.ok:
+            lines.append("  OK — no invariant violations")
+        return "\n".join(lines)

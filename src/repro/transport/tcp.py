@@ -19,6 +19,7 @@ from typing import TYPE_CHECKING, Optional
 from repro.net.headers import IpHeader, TcpHeader
 from repro.net.packet import Packet, PacketType
 from repro.obs import api as obs
+from repro.sanitizer import api as san
 from repro.transport.agents import Agent
 from repro.transport.udp import ReceivedRecord
 
@@ -86,6 +87,7 @@ class TcpAgent(Agent):
         self._obs_retx = obs.counter("tcp.retransmits")
         self._obs_timeouts = obs.counter("tcp.timeouts")
         self._obs_rtt = obs.histogram("tcp.rtt")
+        self._san = san.tcp_monitor()
         #: True while the application allows transmission (start/stop gate).
         self.running = True
 
@@ -183,6 +185,7 @@ class TcpAgent(Agent):
             self._rtt_ts = now
         if not self._timer_running:
             self._start_timer()
+        self._san.on_segment_sent(self, seqno)
         self.node.send(pkt)
 
     # -- ACK processing ------------------------------------------------------------------
@@ -192,6 +195,7 @@ class TcpAgent(Agent):
         if not header.is_ack:
             return  # a one-way sender ignores stray data
         ackno = header.ackno
+        self._san.on_ack(self, ackno)
         if ackno > self.highest_ack:
             self._new_ack(ackno)
         elif ackno == self.highest_ack:
@@ -364,6 +368,7 @@ class TcpSink(Agent):
         self.records: list[ReceivedRecord] = []
         self._out_of_order: set[int] = set()
         self._ack_pending = False
+        self._san = san.tcp_monitor()
 
     def receive(self, pkt: Packet) -> None:
         header: TcpHeader = pkt.header("tcp")
@@ -391,6 +396,7 @@ class TcpSink(Agent):
                 self._out_of_order.add(seqno)
         else:
             self.duplicates += 1
+        self._san.on_sink(self)
         if self.delayed_ack > 0 and seqno == self.next_expected - 1:
             if not self._ack_pending:
                 self._ack_pending = True

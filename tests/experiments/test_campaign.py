@@ -55,6 +55,34 @@ class TestTrialAndOutcomeTypes:
         with pytest.raises(ValueError, match="status"):
             TrialOutcome.from_json(line)
 
+    def test_violation_outcome_json_round_trip(self):
+        outcome = TrialOutcome(
+            key="t1",
+            status="violation",
+            error="sanitizer report ...",
+            violations=[
+                {
+                    "checker": "queue-over-limit",
+                    "layer": "net",
+                    "message": "interface queue holds 51 packets, limit 50",
+                    "time": 1.25,
+                    "scenario": "t1",
+                }
+            ],
+        )
+        restored = TrialOutcome.from_json(outcome.to_json())
+        assert restored == outcome
+        assert restored.violations[0]["checker"] == "queue-over-limit"
+
+    def test_violation_counts_as_failed(self):
+        result = CampaignResult(
+            outcomes=[
+                TrialOutcome(key="a", status="ok"),
+                TrialOutcome(key="b", status="violation"),
+            ]
+        )
+        assert [o.key for o in result.failed] == ["b"]
+
     def test_campaign_result_lookups(self):
         outcomes = [
             TrialOutcome(key="a", status="ok"),
@@ -142,6 +170,36 @@ class TestRunCampaign:
         # Only the newly-run trial was appended.
         assert len(checkpoint.read_text().splitlines()) == 2
 
+    def test_resume_deduplicates_duplicate_checkpoint_records(self, tmp_path):
+        # A crash between the checkpoint append and the process exit can
+        # leave the same key recorded twice (e.g. a re-run after a kill
+        # -9 mid-flush).  Resume must count each key once — the last
+        # record wins — not replay or double-report it.
+        checkpoint = tmp_path / "campaign.jsonl"
+        first = TrialOutcome(key="dup", status="error", error="first try")
+        second = TrialOutcome(key="dup", status="ok")
+        checkpoint.write_text(
+            first.to_json() + "\n"
+            + second.to_json() + "\n"
+            + first.to_json() + "\n"  # stale duplicate after the ok
+        )
+        result = run_campaign(
+            [
+                CampaignTrial(key="dup", config=tiny_config(name="dup")),
+                CampaignTrial(key="new", config=tiny_config(name="new")),
+            ],
+            checkpoint=checkpoint,
+            resume=True,
+        )
+        assert len(result.outcomes) == 2
+        dup = result.outcome("dup")
+        assert dup.resumed is True
+        # Later records supersede earlier ones for the same key.
+        assert dup.status == "error"
+        assert result.outcome("new").status == "ok"
+        # Only the genuinely new trial was appended to the checkpoint.
+        assert len(checkpoint.read_text().splitlines()) == 4
+
     def test_corrupt_checkpoint_lines_tolerated(self, tmp_path):
         checkpoint = tmp_path / "campaign.jsonl"
         good = TrialOutcome(key="a", status="ok")
@@ -183,3 +241,47 @@ class TestCampaignTrials:
             )
         ]
         assert keys == ["campaign-test-seed1", "inject-crash", "inject-hang"]
+
+    def test_sanitize_flag_enables_full_sanitizer(self):
+        from repro.sanitizer.config import SanitizerConfig
+
+        trials = campaign_trials(tiny_config(), seeds=[1, 2], sanitize=True)
+        for trial in trials:
+            assert trial.config.sanitize == SanitizerConfig()
+        plain = campaign_trials(tiny_config(), seeds=[1])
+        assert plain[0].config.sanitize is None
+
+
+class TestCampaignViolationStatus:
+    @pytest.mark.skipif(
+        "fork" not in __import__("multiprocessing").get_all_start_methods(),
+        reason="needs fork so the seeded bug reaches the worker process",
+    )
+    def test_sanitizer_violation_surfaces_as_structured_outcome(
+        self, tmp_path, monkeypatch
+    ):
+        # Seed the off-by-one queue bug in this process; the forked
+        # campaign worker inherits it and the sanitizer catches it.
+        from tests.sanitizer.test_fuzz import (
+            bug_triggering_config,
+            install_off_by_one_queue_bug,
+        )
+
+        install_off_by_one_queue_bug(monkeypatch)
+        checkpoint = tmp_path / "campaign.jsonl"
+        result = run_campaign(
+            [CampaignTrial(key="buggy", config=bug_triggering_config())],
+            timeout=60.0,
+            checkpoint=checkpoint,
+        )
+        outcome = result.outcome("buggy")
+        assert outcome.status == "violation"
+        assert [o.key for o in result.failed] == ["buggy"]
+        assert outcome.violations[0]["checker"] == "queue-over-limit"
+        assert "queue-over-limit" in outcome.error
+        # The violation round-trips through the checkpoint.
+        restored = TrialOutcome.from_json(
+            checkpoint.read_text().splitlines()[0]
+        )
+        assert restored.status == "violation"
+        assert restored.violations == outcome.violations

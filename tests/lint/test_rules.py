@@ -318,6 +318,46 @@ class TestSim008:
         assert codes(src) == []
 
 
+# -- SIM013: bare assert in production code -----------------------------------
+
+
+class TestSim013:
+    def test_assert_flagged_cold_path(self):
+        diags = lint_source("def f(x):\n    assert x > 0\n", COLD)
+        assert [(d.code, d.line) for d in diags] == [("SIM013", 2)]
+
+    def test_assert_flagged_hot_path_mentions_hot_path(self):
+        diags = lint_source("def f(x):\n    assert x is not None\n", HOT)
+        assert [d.code for d in diags] == ["SIM013"]
+        assert "hot-path" in diags[0].message
+
+    def test_message_suggests_explicit_raise(self):
+        diags = lint_source("assert ready\n", COLD)
+        assert "python -O" in diags[0].message
+        assert "raise" in diags[0].message
+
+    def test_assert_with_message_still_flagged(self):
+        # -O strips the whole statement, message or not.
+        src = 'assert q, "queue must be non-empty"\n'
+        assert codes(src) == ["SIM013"]
+
+    def test_tests_exempt(self):
+        src = "def test_f():\n    assert f() == 3\n"
+        assert codes(src, path="tests/test_f.py") == []
+
+    def test_explicit_raise_clean(self):
+        src = (
+            "def f(x):\n"
+            "    if x <= 0:\n"
+            "        raise ValueError(f'x must be positive, got {x}')\n"
+        )
+        assert codes(src, HOT) == []
+
+    def test_suppressed(self):
+        src = "assert invariant  # simlint: disable=SIM013\n"
+        assert codes(src) == []
+
+
 # -- suppression mechanics ----------------------------------------------------
 
 

@@ -1,0 +1,201 @@
+"""Packet-conservation ledger unit tests."""
+
+from __future__ import annotations
+
+from repro.net.headers import IpHeader
+from repro.net.packet import Packet, PacketType
+from repro.sanitizer.ledger import PacketLedger
+
+
+def pkt(ptype=PacketType.UDP, src=0, dst=1) -> Packet:
+    return Packet(ptype, 100, IpHeader(src=src, dst=dst))
+
+
+def audit(ledger, end_time=10.0, grace=1.0, resident=None, flooding=False):
+    violations = []
+    counters = ledger.audit(
+        end_time=end_time,
+        grace=grace,
+        resident_uids=resident or set(),
+        emit=violations.append,
+        flooding=flooding,
+    )
+    return counters, violations
+
+
+class TestTermination:
+    def test_delivered_uid_is_clean(self):
+        ledger = PacketLedger()
+        p = pkt()
+        ledger.record("s", 1.0, 0, "AGT", p)
+        ledger.record("r", 2.0, 1, "AGT", p)
+        counters, violations = audit(ledger)
+        assert counters["delivered"] == 1 and counters["leaked"] == 0
+        assert violations == []
+
+    def test_dropped_uid_is_clean(self):
+        ledger = PacketLedger()
+        p = pkt()
+        ledger.record("s", 1.0, 0, "AGT", p)
+        ledger.record("D", 2.0, 0, "IFQ", p)
+        counters, violations = audit(ledger)
+        assert counters["dropped"] == 1
+        assert violations == []
+
+    def test_attributed_loss_is_clean(self):
+        # A fault-injected silent loss carries a note, never a violation.
+        ledger = PacketLedger()
+        p = pkt()
+        ledger.record("s", 1.0, 0, "MAC", p)
+        ledger.note(p, "link-blocked", 1.5)
+        counters, violations = audit(ledger)
+        assert counters["attributed"] == 1
+        assert violations == []
+
+    def test_resident_uid_is_clean(self):
+        ledger = PacketLedger()
+        p = pkt()
+        ledger.record("s", 1.0, 0, "AGT", p)
+        counters, violations = audit(ledger, resident={p.uid})
+        assert counters["resident"] == 1
+        assert violations == []
+
+    def test_in_flight_within_grace_is_clean(self):
+        ledger = PacketLedger()
+        p = pkt()
+        ledger.record("s", 9.5, 0, "MAC", p)
+        counters, violations = audit(ledger, end_time=10.0, grace=1.0)
+        assert counters["in_flight"] == 1
+        assert violations == []
+
+    def test_unaccounted_data_uid_leaks(self):
+        ledger = PacketLedger()
+        p = pkt(PacketType.TCP)
+        ledger.record("s", 1.0, 0, "AGT", p)
+        counters, violations = audit(ledger)
+        assert counters["leaked"] == 1
+        assert [v.checker for v in violations] == ["packet-leak"]
+
+    def test_note_only_uid_not_audited(self):
+        # MAC control frames (ACK/RTS/CTS) are never traced; a copy
+        # noted lost must not enter the audited population.
+        ledger = PacketLedger()
+        p = pkt()
+        ledger.note(p, "collision", 1.0)
+        counters, violations = audit(ledger)
+        assert counters["audited"] == 0
+        assert violations == []
+
+
+class TestMacReceiveRelaxation:
+    def test_control_packet_consumed_at_mac_is_clean(self):
+        # Routing control (RREQ/RREP, ...) is consumed inside the
+        # routing layer on MAC receipt; no AGT delivery ever follows.
+        ledger = PacketLedger()
+        p = pkt(PacketType.AODV)
+        ledger.record("s", 1.0, 0, "RTR", p)
+        ledger.record("r", 1.1, 1, "MAC", p)
+        counters, violations = audit(ledger)
+        assert counters["delivered"] == 1
+        assert violations == []
+
+    def test_data_packet_stuck_at_mac_leaks(self):
+        ledger = PacketLedger()
+        p = pkt(PacketType.UDP)
+        ledger.record("s", 1.0, 0, "AGT", p)
+        ledger.record("r", 1.1, 1, "MAC", p)
+        counters, violations = audit(ledger)
+        assert counters["leaked"] == 1
+
+    def test_flooding_relaxes_data_packets(self):
+        # Flooding suppresses duplicate data frames silently.
+        ledger = PacketLedger()
+        p = pkt(PacketType.UDP)
+        ledger.record("s", 1.0, 0, "AGT", p)
+        ledger.record("r", 1.1, 1, "MAC", p)
+        counters, violations = audit(ledger, flooding=True)
+        assert counters["delivered"] == 1
+        assert violations == []
+
+
+class TestViolationContext:
+    def test_leak_violation_carries_uid_and_time(self):
+        ledger = PacketLedger()
+        p = pkt(PacketType.TCP)
+        ledger.record("s", 3.25, 0, "AGT", p)
+        _, violations = audit(ledger)
+        violation = violations[0]
+        assert violation.uid == p.uid
+        assert violation.time == 3.25
+        assert str(p.uid) in violation.message
+        assert "tcp" in violation.message
+
+    def test_notes_capped_per_uid(self):
+        ledger = PacketLedger()
+        p = pkt()
+        for i in range(20):
+            ledger.note(p, "collision", float(i))
+        assert ledger.notes_recorded == 20
+        assert len(ledger._records[p.uid].notes) == 8
+
+
+class TestServiceTracking:
+    def test_in_service_uids_follow_begin_end(self):
+        ledger = PacketLedger()
+        p = pkt()
+        ledger.mac_service_begin(3, p)
+        assert ledger.in_service_uids() == {p.uid}
+        ledger.mac_service_end(3, p)
+        assert ledger.in_service_uids() == set()
+
+
+class _StubHop:
+    def __init__(self, event, layer):
+        self.event = event
+        self.layer = layer
+
+
+class _StubJourney:
+    def __init__(self, hops):
+        self.hops = hops
+
+    def to_dict(self):
+        return {"hops": len(self.hops)}
+
+
+class _StubTracker:
+    def __init__(self, journeys):
+        self._journeys = journeys
+
+    def journey(self, uid):
+        return self._journeys.get(uid)
+
+
+class TestJourneyCrossValidation:
+    def test_agreement_is_clean(self):
+        ledger = PacketLedger()
+        p = pkt()
+        ledger.record("s", 1.0, 0, "AGT", p)
+        ledger.record("r", 2.0, 1, "AGT", p)
+        tracker = _StubTracker({p.uid: _StubJourney([_StubHop("r", "AGT")])})
+        violations = []
+        ledger.audit(
+            end_time=10.0, grace=1.0, resident_uids=set(),
+            emit=violations.append, journeys=tracker,
+        )
+        assert violations == []
+
+    def test_disagreement_emits_journey_mismatch(self):
+        ledger = PacketLedger()
+        p = pkt()
+        ledger.record("s", 1.0, 0, "AGT", p)
+        ledger.record("r", 2.0, 1, "AGT", p)  # ledger says delivered
+        tracker = _StubTracker({p.uid: _StubJourney([_StubHop("s", "AGT")])})
+        violations = []
+        ledger.audit(
+            end_time=10.0, grace=1.0, resident_uids=set(),
+            emit=violations.append, journeys=tracker,
+        )
+        assert [v.checker for v in violations] == ["journey-mismatch"]
+        assert violations[0].uid == p.uid
+        assert violations[0].journey == {"hops": 1}
