@@ -1,6 +1,6 @@
 # Convenience targets for the EBL reproduction.
 
-.PHONY: install test lint lint-baseline bench bench-smoke bench-micro report figures nam sweep campaign-smoke fuzz-smoke sanitize clean
+.PHONY: install test lint lint-baseline bench bench-smoke bench-micro report figures nam sweep campaign-smoke trace-smoke fuzz-smoke sanitize clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -68,6 +68,16 @@ campaign-smoke:
 		--checkpoint .campaign-smoke.jsonl
 	rm -f .campaign-smoke.jsonl
 
+# Record a short traced trial, print the causal chain for the initial
+# EBL warning, and export a Perfetto trace plus a collapsed-stack
+# flamegraph (see docs/OBSERVABILITY.md, "Causal tracing & wall-clock
+# profiling").  Open TRACE_smoke.perfetto.json at https://ui.perfetto.dev.
+trace-smoke:
+	PYTHONPATH=src python -m repro.cli trace --trial 1 --duration 15 \
+		--uid initial-warning \
+		--perfetto TRACE_smoke.perfetto.json \
+		--profile-wall --flamegraph TRACE_smoke.folded
+
 # Sanitized fuzzing over ~25 seed-derived scenarios (see
 # docs/ROBUSTNESS.md).  Fixed seed, so a CI failure reproduces locally
 # with the same command; failing configs are shrunk and saved next to
@@ -84,4 +94,5 @@ sanitize:
 clean:
 	rm -rf figures out.nam report.md .pytest_cache .benchmarks
 	rm -rf FUZZ_report.json fuzz-failures
+	rm -f TRACE_smoke.perfetto.json TRACE_smoke.folded
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -6,10 +6,13 @@ Subcommands::
     ebl-sim report [--duration 40] [--output EXPERIMENTS.md]
     ebl-sim sweep {packet-size,platoon-size,tdma-slots}
     ebl-sim campaign --trial 1 --seeds 5 --fault-plan light [--resume]
-                     [--sanitize]
+                     [--sanitize] [--trace-dir DIR]
     ebl-sim bench [--profile smoke|paper] [--output BENCH_trials.json]
-                  [--compare BASELINE] [--observe] [--sanitize]
+                  [--compare BASELINE] [--observe] [--sanitize] [--trace]
+                  [--profile-wall] [--flamegraph PREFIX]
     ebl-sim inspect --trial 1 [--export PREFIX]
+    ebl-sim trace --trial 1 [--uid N|initial-warning] [--perfetto OUT.json]
+                  [--jsonl OUT.jsonl] [--profile-wall] [--flamegraph OUT]
     ebl-sim sanitize [--trial all | --config FILE] [--fault-plan light]
     ebl-sim fuzz --seed 1 --count 25 [--output fuzz-report.json]
     ebl-sim lint [paths ...]
@@ -204,15 +207,20 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         heartbeat_dir=args.heartbeat_dir,
         heartbeat_interval=args.heartbeat_interval,
         sanitize=args.sanitize,
+        trace_dir=args.trace_dir,
     )
-    if args.heartbeat_dir:
+    if args.heartbeat_dir or args.trace_dir:
         import os
 
-        os.makedirs(args.heartbeat_dir, exist_ok=True)
+        for directory in (args.heartbeat_dir, args.trace_dir):
+            if directory:
+                os.makedirs(directory, exist_ok=True)
 
     def progress(outcome) -> None:
         note = " (resumed)" if outcome.resumed else f" in {outcome.elapsed:.1f}s"
         print(f"  {outcome.key:24s} {outcome.status}{note}")
+        if outcome.trace:
+            print(f"  {'':24s} perfetto trace: {outcome.trace}")
         if outcome.status == "ok" and outcome.metrics:
             delay = outcome.metrics.get("initial_packet_delay", float("nan"))
             wdp = outcome.metrics.get("warning_delivery_probability")
@@ -259,8 +267,20 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         duration=args.duration,
         observe=args.observe,
         sanitize=args.sanitize,
+        trace=args.trace,
+        profile_wall=args.profile_wall,
     )
     print(format_report(report))
+    if args.flamegraph:
+        for name, entry in sorted(report["trials"].items()):
+            collapsed = entry.get("collapsed")
+            if not collapsed:
+                continue
+            path = f"{args.flamegraph}.{name}.folded"
+            with open(path, "w", encoding="utf-8") as stream:
+                for line in collapsed:
+                    stream.write(line + "\n")
+            print(f"wrote {len(collapsed)} collapsed stacks -> {path}")
     if args.output:
         write_report(report, args.output)
         print(f"bench report written to {args.output}")
@@ -376,6 +396,132 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
         print()
         for path, count in counts.items():
             print(f"wrote {count} records -> {path}")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs.config import ObservabilityConfig
+    from repro.obs.tracing import (
+        causal_chain,
+        delivery_span,
+        filter_spans,
+        initial_warning_uid,
+        render_chain,
+        render_journey_spans,
+        render_spans_table,
+        send_time,
+        write_chrome_trace,
+        write_spans_jsonl,
+    )
+
+    config = TRIALS[args.trial].with_overrides(
+        duration=args.duration,
+        observability=ObservabilityConfig(
+            metrics=False,
+            journeys=False,
+            tracing=True,
+            max_spans=args.max_spans,
+            profile_wall=args.profile_wall,
+        ),
+    )
+    result = run_trial(config)
+    obs = result.observability
+    if obs is None or obs.spans is None:  # pragma: no cover - config enables it
+        raise RuntimeError("trace run produced no span tracer")
+    tracer = obs.spans
+    spans = tracer.finalize()
+    print(
+        f"== trace {config.name}: {len(spans)} spans over "
+        f"{config.duration:g}s simulated "
+        f"({tracer.dropped} past the span cap) =="
+    )
+
+    uid: Optional[int] = None
+    if args.uid is not None:
+        if args.uid in ("initial-warning", "auto"):
+            # The initial EBL warning: the fastest-delivered first data
+            # packet of platoon 1's lead->follower flows (the packet the
+            # paper's S6 initial-delay claim is about).
+            best = None
+            for flow in result.platoon1.flows:
+                candidate = initial_warning_uid(
+                    spans, src=flow.src, dst=flow.dst
+                )
+                if candidate is None:
+                    continue
+                span = delivery_span(spans, candidate, dst=flow.dst)
+                sent = send_time(spans, candidate)
+                if span is None or sent is None:
+                    continue
+                delay = span.fired_at - sent
+                if best is None or delay < best[0]:
+                    best = (delay, candidate, flow)
+            if best is None:
+                print("no delivered initial warning found in the trace")
+                return 1
+            uid = best[1]
+            flow = best[2]
+            print(
+                f"initial warning: uid={uid} "
+                f"(flow {flow.src}->{flow.dst})"
+            )
+        else:
+            uid = int(args.uid)
+
+    if uid is not None:
+        print()
+        print(f"packet uid={uid} journey spans:")
+        print(render_journey_spans(spans, uid))
+        delivered = delivery_span(spans, uid)
+        if delivered is None:
+            print(f"uid={uid} was never delivered (no 'r AGT' mark)")
+        else:
+            chain = causal_chain(spans, delivered.sid)
+            print()
+            print(f"causal chain of the uid={uid} delivery:")
+            print(render_chain(chain, uid, limit=args.limit))
+            sent = send_time(spans, uid)
+            if sent is not None:
+                print(
+                    f"end-to-end: sent t={sent:.6f} -> delivered "
+                    f"t={delivered.fired_at:.6f} "
+                    f"({delivered.fired_at - sent:.6f}s)"
+                )
+    elif any(
+        value is not None
+        for value in (args.layer, args.node, args.since, args.until, args.name)
+    ):
+        matched = filter_spans(
+            spans,
+            layer=args.layer,
+            node=args.node,
+            since=args.since,
+            until=args.until,
+            name=args.name,
+        )
+        print()
+        print(f"{len(matched)} spans match:")
+        print(render_spans_table(matched, limit=args.limit))
+
+    if args.perfetto:
+        count = write_chrome_trace(args.perfetto, spans, label=config.name)
+        print(
+            f"wrote {count} trace events -> {args.perfetto} "
+            "(open in ui.perfetto.dev)"
+        )
+    if args.jsonl:
+        write_spans_jsonl(args.jsonl, spans)
+        print(f"wrote {len(spans)} spans -> {args.jsonl}")
+
+    if args.profile_wall and obs.profiler is not None:
+        print()
+        print(obs.profiler.report(top=15))
+        if args.flamegraph:
+            lines = obs.profiler.write_collapsed(args.flamegraph)
+            print(
+                f"wrote {lines} collapsed stacks -> {args.flamegraph} "
+                "(feed to flamegraph.pl / speedscope)"
+            )
     return 0
 
 
@@ -527,6 +673,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="run every trial under the runtime invariant "
                         "sanitizer; violations become structured 'violation' "
                         "outcomes in the checkpoint")
+    camp_p.add_argument("--trace-dir", default=None,
+                        help="record a causal span trace in every trial and "
+                        "write DIR/<key>.perfetto.json for failed/violation "
+                        "trials only")
     camp_p.set_defaults(func=_cmd_campaign)
 
     bench_p = sub.add_parser(
@@ -568,6 +718,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="bench with the runtime invariant sanitizer enabled "
         "(measures sanitizer overhead; report includes violation counts)",
     )
+    bench_p.add_argument(
+        "--trace", action="store_true",
+        help="bench with the causal span tracer recording (measures "
+        "tracing overhead; report includes span counts)",
+    )
+    bench_p.add_argument(
+        "--profile-wall", action="store_true",
+        help="attribute host wall-clock per component during the benched "
+        "runs; report includes the hottest collapsed stacks",
+    )
+    bench_p.add_argument(
+        "--flamegraph", metavar="PREFIX", default=None,
+        help="with --profile-wall, write PREFIX.<trial>.folded "
+        "collapsed-stack files for flamegraph.pl / speedscope",
+    )
     bench_p.set_defaults(func=_cmd_bench)
 
     ins_p = sub.add_parser(
@@ -591,6 +756,64 @@ def build_parser() -> argparse.ArgumentParser:
         "PREFIX.journeys.{jsonl,csv}, and PREFIX.heartbeat.jsonl",
     )
     ins_p.set_defaults(func=_cmd_inspect)
+
+    trace_p = sub.add_parser(
+        "trace",
+        help="record a causal span trace of one trial; print causal "
+        "chains, filter spans, export Perfetto/JSONL, profile wall time",
+    )
+    trace_p.add_argument("--trial", type=int, choices=(1, 2, 3), default=1)
+    trace_p.add_argument("--duration", type=float, default=12.0)
+    trace_p.add_argument(
+        "--uid", default=None,
+        help="packet uid to explain: print its journey spans and the "
+        "causal chain of its delivery; the literal 'initial-warning' "
+        "resolves the trial's first delivered brake warning",
+    )
+    trace_p.add_argument(
+        "--layer", default=None,
+        help="filter spans by protocol layer (des, mac, net, phy, ...)",
+    )
+    trace_p.add_argument(
+        "--node", type=int, default=None, help="filter spans by node address"
+    )
+    trace_p.add_argument(
+        "--since", type=float, default=None,
+        help="filter spans fired at/after this sim time",
+    )
+    trace_p.add_argument(
+        "--until", type=float, default=None,
+        help="filter spans fired at/before this sim time",
+    )
+    trace_p.add_argument(
+        "--name", default=None,
+        help="filter spans by case-insensitive name substring",
+    )
+    trace_p.add_argument(
+        "--limit", type=int, default=40,
+        help="max rendered chain steps / table rows (default 40)",
+    )
+    trace_p.add_argument(
+        "--max-spans", type=int, default=500_000,
+        help="span recording cap (default 500000)",
+    )
+    trace_p.add_argument(
+        "--perfetto", metavar="OUT.json", default=None,
+        help="export Chrome/Perfetto trace-event JSON (ui.perfetto.dev)",
+    )
+    trace_p.add_argument(
+        "--jsonl", metavar="OUT.jsonl", default=None,
+        help="export the resolved spans as compact JSONL",
+    )
+    trace_p.add_argument(
+        "--profile-wall", action="store_true",
+        help="also attribute host wall-clock time per component",
+    )
+    trace_p.add_argument(
+        "--flamegraph", metavar="OUT", default=None,
+        help="with --profile-wall, write collapsed stacks here",
+    )
+    trace_p.set_defaults(func=_cmd_trace)
 
     san_p = sub.add_parser(
         "sanitize",

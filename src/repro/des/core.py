@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import gc
+
 from heapq import heappop, heappush
 from itertools import count
 from math import isfinite
@@ -34,7 +36,7 @@ class Environment:
     def __init__(self, initial_time: float = 0.0, strict: bool = False) -> None:
         self._now = float(initial_time)
         self._strict = bool(strict)
-        self._queue: list[tuple[float, int, int, Event]] = []
+        self._queue: list[tuple] = []
         self._eid = count()
         self._active_proc: Optional[Process] = None
         #: Events processed so far (the bench harness's events/sec metric).
@@ -43,6 +45,12 @@ class Environment:
         #: :class:`SchedulingError` messages identify the failing run in
         #: campaign failure records without a rerun.
         self.label: Optional[str] = None
+        #: Span tracer installed by :meth:`_install_span_tracer` (None
+        #: means the untraced fast path — :meth:`run` and :meth:`schedule`
+        #: then do no tracing work at all).
+        self._span_tracer: Optional[Any] = None
+        #: Wall-clock profiler installed by :meth:`_install_wall_profiler`.
+        self._wall_profiler: Optional[Any] = None
 
     def _context_suffix(self) -> str:
         """`` [scenario=...]`` when a label is set (error paths only)."""
@@ -138,28 +146,118 @@ class Environment:
         """Time of the next scheduled event, or ``inf`` if queue is empty."""
         return self._queue[0][0] if self._queue else float("inf")
 
+    # -- observability hooks -------------------------------------------------
+
+    def _past_event_error(self, at: float, event: Event) -> SchedulingError:
+        """The strict-mode error for an event firing in the past."""
+        return SchedulingError(
+            f"event {event!r} fired at t={at}, {self._now - at} s in the "
+            f"past — the event heap was corrupted or bypassed "
+            f"(now={self._now}){self._context_suffix()}",
+            delay=at - self._now,
+            now=self._now,
+            event=event,
+        )
+
+    def _install_span_tracer(self, tracer: Any) -> None:
+        """Attach a span tracer; every event from here on is recorded.
+
+        Installation swaps :meth:`schedule` for an instance-level closure
+        that pushes six-element heap entries ``(time, priority, eid,
+        event, scheduled_at, scheduled_seq)``: the extra two elements
+        never participate in heap comparisons (the unique ``eid`` decides
+        every tie first) and give each executed event its schedule time
+        and — via ``scheduled_seq``, the ``events_processed`` count at
+        scheduling time — the identity of the event that scheduled it.
+        The untraced path keeps the plain method and four-element
+        entries, so tracing costs nothing while disabled.
+
+        Scheduling order, event ids, and execution are bit-identical with
+        tracing on or off (the golden digest tests pin this).
+        """
+        if self._span_tracer is not None:
+            raise SimulationError("a span tracer is already installed")
+        self._span_tracer = tracer
+        tracer.base = self.events_processed
+        tracer._env = self
+        now = self._now
+        base = tracer.base
+        # Widen any pre-install entries; first three elements untouched,
+        # so the heap invariant survives without a heapify.
+        self._queue = [
+            (entry[0], entry[1], entry[2], entry[3], now, base)
+            for entry in self._queue
+        ]
+        queue = self._queue
+        eid = self._eid
+        env = self
+
+        def schedule(
+            event: Event, priority: int = NORMAL, delay: float = 0.0
+        ) -> None:
+            if 0.0 <= delay < _INF:
+                now = env._now
+                heappush(
+                    queue,
+                    (now + delay, priority, next(eid), event,
+                     now, env.events_processed),
+                )
+                return
+            env._reject_delay(event, delay)
+
+        self.schedule = schedule  # type: ignore[method-assign]
+
+    def _uninstall_span_tracer(self) -> None:
+        """Detach the span tracer and restore the untraced fast path."""
+        if self._span_tracer is None:
+            return
+        self._span_tracer = None
+        self.__dict__.pop("schedule", None)
+        self._queue = [
+            (entry[0], entry[1], entry[2], entry[3]) for entry in self._queue
+        ]
+
+    def _install_wall_profiler(self, profiler: Any) -> None:
+        """Attach a wall-clock profiler (timed around every callback run)."""
+        if self._wall_profiler is not None:
+            raise SimulationError("a wall profiler is already installed")
+        self._wall_profiler = profiler
+
+    def _uninstall_wall_profiler(self) -> None:
+        """Detach the wall-clock profiler."""
+        self._wall_profiler = None
+
     def step(self) -> None:
         """Process the single next event, advancing simulated time."""
         try:
-            at, _, _, event = heappop(self._queue)
+            item = heappop(self._queue)
         except IndexError:
             raise SimulationError("no scheduled events") from None
 
+        at = item[0]
+        event = item[3]
         if self._strict and at < self._now:
-            raise SchedulingError(
-                f"event {event!r} fired at t={at}, {self._now - at} s in the "
-                f"past — the event heap was corrupted or bypassed "
-                f"(now={self._now}){self._context_suffix()}",
-                delay=at - self._now,
-                now=self._now,
-                event=event,
-            )
+            raise self._past_event_error(at, event)
         self._now = at
         self.events_processed += 1
 
         callbacks, event.callbacks = event.callbacks, None
-        for callback in callbacks:
-            callback(event)
+        tracer = self._span_tracer
+        if tracer is not None:
+            if len(tracer.raw) < tracer.max_spans:
+                tracer.raw.append(item)
+                tracer.raw_callbacks.append(callbacks)
+            else:
+                tracer.dropped += 1
+        profiler = self._wall_profiler
+        if profiler is not None:
+            profiler.begin(event, callbacks)
+            for callback in callbacks:
+                callback(event)
+            profiler.end()
+        else:
+            for callback in callbacks:
+                callback(event)
 
         if event._ok is False and not event.defused:
             # Nobody handled the failure: surface it to the caller of run().
@@ -194,37 +292,118 @@ class Environment:
         # The hot loop.  This duplicates :meth:`step` with the heap, the
         # strict flag, and the pop bound to locals: on long runs the event
         # loop dominates wall-clock, and the per-event attribute lookups
-        # are measurable.  Keep the two in sync.
+        # are measurable.  Keep the variants in sync.
         # ``events_processed`` is updated in-loop (not batched into a
         # local and flushed on exit) so heartbeat callbacks running *inside*
         # this loop observe a current count.
+        # Three loop variants, selected once: the plain loop (no
+        # instrumentation attached — per-event cost identical to before
+        # tracing existed), the span-traced loop (minimal extra work:
+        # one bounds check and two list appends per event, everything
+        # else resolved lazily at query time), and the profiled loop
+        # (wall-clock reads bracket every callback batch).
         queue = self._queue
         strict = self._strict
         pop = heappop
+        tracer = self._span_tracer
+        profiler = self._wall_profiler
+        # While a tracer is recording, every executed event and callback
+        # list is pinned in its raw store.  That retention makes the
+        # cyclic collector pathological — each generation-2 pass rescans
+        # the ever-growing trace (measured 8x the tracer's own per-event
+        # cost) — so suspend it for the traced run and restore after.
+        # Reference counting still frees acyclic garbage; cycles created
+        # during the run are reclaimed by the next natural collection.
+        gc_was_enabled = tracer is not None and gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
         try:
-            while queue:
-                at, _, _, event = pop(queue)
-                if strict and at < self._now:
-                    raise SchedulingError(
-                        f"event {event!r} fired at t={at}, {self._now - at} s "
-                        f"in the past — the event heap was corrupted or "
-                        f"bypassed (now={self._now}){self._context_suffix()}",
-                        delay=at - self._now,
-                        now=self._now,
-                        event=event,
-                    )
-                self._now = at
-                self.events_processed += 1
+            if tracer is None and profiler is None:
+                while queue:
+                    at, _, _, event = pop(queue)
+                    if strict and at < self._now:
+                        raise self._past_event_error(at, event)
+                    self._now = at
+                    self.events_processed += 1
 
-                callbacks, event.callbacks = event.callbacks, None
-                for callback in callbacks:
-                    callback(event)
+                    callbacks, event.callbacks = event.callbacks, None
+                    for callback in callbacks:
+                        callback(event)
 
-                if event._ok is False and not event.defused:
-                    # Nobody handled the failure: surface it to run()'s caller.
-                    raise event._value
+                    if event._ok is False and not event.defused:
+                        # Nobody handled the failure: surface it to
+                        # run()'s caller.
+                        raise event._value
+            elif profiler is None:
+                # Span tracing only: the heap entries are six-tuples (see
+                # _install_span_tracer); record the popped entry and the
+                # detached callback list verbatim — attribution, parent
+                # resolution and packet stitching all happen off the hot
+                # path, when the trace is finalized.
+                raw_append = tracer.raw.append
+                cbs_append = tracer.raw_callbacks.append
+                room = tracer.max_spans - len(tracer.raw)
+                while queue:
+                    item = pop(queue)
+                    at = item[0]
+                    event = item[3]
+                    if strict and at < self._now:
+                        raise self._past_event_error(at, event)
+                    self._now = at
+                    self.events_processed += 1
+
+                    callbacks, event.callbacks = event.callbacks, None
+                    if room > 0:
+                        room -= 1
+                        raw_append(item)
+                        cbs_append(callbacks)
+                    else:
+                        tracer.dropped += 1
+                    for callback in callbacks:
+                        callback(event)
+
+                    if event._ok is False and not event.defused:
+                        raise event._value
+            else:
+                # Profiled loop (with or without the span tracer).  The
+                # profiler owns the wall clock — the kernel itself never
+                # reads host time.
+                pbegin = profiler.begin
+                pend = profiler.end
+                room = (
+                    tracer.max_spans - len(tracer.raw)
+                    if tracer is not None
+                    else 0
+                )
+                while queue:
+                    item = pop(queue)
+                    at = item[0]
+                    event = item[3]
+                    if strict and at < self._now:
+                        raise self._past_event_error(at, event)
+                    self._now = at
+                    self.events_processed += 1
+
+                    callbacks, event.callbacks = event.callbacks, None
+                    if tracer is not None:
+                        if room > 0:
+                            room -= 1
+                            tracer.raw.append(item)
+                            tracer.raw_callbacks.append(callbacks)
+                        else:
+                            tracer.dropped += 1
+                    pbegin(event, callbacks)
+                    for callback in callbacks:
+                        callback(event)
+                    pend()
+
+                    if event._ok is False and not event.defused:
+                        raise event._value
         except StopSimulation as stop:
             return stop.value
+        finally:
+            if gc_was_enabled:
+                gc.enable()
 
         if isinstance(until, Event) and not until.triggered:
             raise SimulationError(

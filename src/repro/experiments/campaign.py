@@ -30,7 +30,7 @@ from pathlib import Path
 from typing import Callable, Optional, Sequence, Union
 
 from repro.core.analysis import assess_resilience
-from repro.core.runner import TrialResult, run_trial
+from repro.core.runner import TrialResult, harvest
 from repro.core.trials import TrialConfig
 from repro.faults.schedule import FaultPlan
 from repro.obs.config import ObservabilityConfig
@@ -52,6 +52,9 @@ class CampaignTrial:
     key: str
     config: Optional[TrialConfig] = None
     kind: str = "trial"
+    #: Directory Perfetto traces of *failed/violation* trials are written
+    #: to (requires a config with ``tracing`` enabled); None disables.
+    trace_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not self.key:
@@ -81,6 +84,8 @@ class TrialOutcome:
     elapsed: float = 0.0
     #: True when this outcome was loaded from a checkpoint, not re-run.
     resumed: bool = False
+    #: Path of the Perfetto trace captured for this failure ('' if none).
+    trace: str = ""
 
     def to_json(self) -> str:
         """One checkpoint line."""
@@ -93,6 +98,8 @@ class TrialOutcome:
         }
         if self.violations:
             record["violations"] = self.violations
+        if self.trace:
+            record["trace"] = self.trace
         return json.dumps(record)
 
     @classmethod
@@ -105,6 +112,7 @@ class TrialOutcome:
             error=data.get("error", ""),
             violations=list(data.get("violations", [])),
             elapsed=float(data.get("elapsed", 0.0)),
+            trace=data.get("trace", ""),
         )
         if outcome.status not in STATUSES:
             raise ValueError(f"unknown status {outcome.status!r}")
@@ -171,15 +179,43 @@ def _trial_metrics(result: TrialResult) -> dict:
     return metrics
 
 
+def _write_failure_trace(trial: CampaignTrial, scenario) -> str:
+    """Export the scenario's span trace as a Perfetto file; '' on no-op.
+
+    Only called for failed/violation trials: healthy trials never pay
+    the export, and a campaign directory holds exactly the traces worth
+    opening in ui.perfetto.dev.
+    """
+    if trial.trace_dir is None or scenario is None:
+        return ""
+    obs = scenario.observability
+    if obs is None or obs.spans is None or not len(obs.spans):
+        return ""
+    from repro.obs.tracing import write_chrome_trace
+
+    path = Path(trial.trace_dir) / f"{trial.key}.perfetto.json"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    write_chrome_trace(str(path), obs.spans.finalize(), label=trial.key)
+    return str(path)
+
+
 def _worker(trial: CampaignTrial, results: multiprocessing.Queue) -> None:
     """Subprocess entry point: run one trial, report through the queue."""
+    # The scenario is built and run in separate steps (rather than via
+    # run_trial) so a failing run still leaves the scenario — and its
+    # span trace — reachable for the failure-trace export.
+    scenario = None
     try:
         if trial.kind == "inject-crash":
             raise RuntimeError(f"injected crash in trial {trial.key!r}")
         if trial.kind == "inject-hang":
             while True:  # exceed any watchdog; the parent will kill us
                 time.sleep(3600)
-        result = run_trial(trial.config)
+        from repro.core.scenario import EblScenario
+
+        scenario = EblScenario(trial.config)
+        scenario.run()
+        result = harvest(scenario)
         report = result.sanitizer_report
         if report is not None and not report.ok:
             results.put(
@@ -188,6 +224,7 @@ def _worker(trial: CampaignTrial, results: multiprocessing.Queue) -> None:
                     "metrics": _trial_metrics(result),
                     "violations": [v.to_dict() for v in report.violations],
                     "error": report.render(),
+                    "trace": _write_failure_trace(trial, scenario),
                 }
             )
             return
@@ -195,7 +232,12 @@ def _worker(trial: CampaignTrial, results: multiprocessing.Queue) -> None:
     except BaseException:
         # The traceback travels up as data; re-raising would only spray it
         # on stderr a second time.
-        results.put({"status": "error", "error": traceback.format_exc()})
+        payload = {"status": "error", "error": traceback.format_exc()}
+        try:
+            payload["trace"] = _write_failure_trace(trial, scenario)
+        except Exception:
+            payload["trace"] = ""  # never mask the original failure
+        results.put(payload)
 
 
 def _load_checkpoint(path: Path) -> dict[str, TrialOutcome]:
@@ -231,11 +273,18 @@ def _heartbeat_progress(trial: CampaignTrial) -> str:
     beat = read_last_heartbeat(path)
     if beat is None:
         return ""
-    return (
+    message = (
         f"; last heartbeat: sim_time={beat.get('sim_time')} "
         f"events={beat.get('events')} "
         f"events_per_wall_s={beat.get('events_per_wall_s')}"
     )
+    # The interval rate is the slow-vs-hung discriminator: a trial that
+    # was still retiring events in its final beat was slow but alive; one
+    # whose per-interval rate had collapsed was effectively hung.
+    interval_rate = beat.get("interval_events_per_wall_s")
+    if interval_rate is not None:
+        message += f" (last interval: {interval_rate:,.0f} events/wall-s)"
+    return message
 
 
 def _terminate(process: multiprocessing.Process) -> None:
@@ -345,6 +394,7 @@ def run_campaign(
                     error=payload["error"],
                     violations=payload["violations"],
                     elapsed=elapsed,
+                    trace=payload.get("trace", ""),
                 )
             else:
                 outcome = TrialOutcome(
@@ -352,6 +402,7 @@ def run_campaign(
                     status="error",
                     error=payload["error"],
                     elapsed=elapsed,
+                    trace=payload.get("trace", ""),
                 )
         outcomes.append(outcome)
         if checkpoint_path is not None:
@@ -371,6 +422,7 @@ def campaign_trials(
     heartbeat_dir: Optional[Union[str, Path]] = None,
     heartbeat_interval: float = 1.0,
     sanitize: bool = False,
+    trace_dir: Optional[Union[str, Path]] = None,
 ) -> list[CampaignTrial]:
     """One trial per seed over ``base``, plus optional synthetic failures.
 
@@ -379,17 +431,28 @@ def campaign_trials(
     watchdog then reports how far a killed trial had progressed.  With
     ``sanitize`` True, every trial runs under the full runtime sanitizer
     and invariant violations surface as structured ``violation`` records.
+    With ``trace_dir`` set, every trial records a causal span trace and
+    the worker exports ``<dir>/<key>.perfetto.json`` for failed and
+    violation trials only — a campaign leaves behind exactly the traces
+    worth opening in ui.perfetto.dev.
     """
     sanitize_config = SanitizerConfig() if sanitize else base.sanitize
 
     def observability(key: str) -> Optional[ObservabilityConfig]:
-        if heartbeat_dir is None:
+        if heartbeat_dir is None and trace_dir is None:
             return base.observability
         return ObservabilityConfig(
             metrics=True,
             journeys=False,  # campaigns run many trials; keep memory flat
-            heartbeat_interval=heartbeat_interval,
-            heartbeat_path=str(Path(heartbeat_dir) / f"{key}.heartbeat.jsonl"),
+            heartbeat_interval=(
+                heartbeat_interval if heartbeat_dir is not None else None
+            ),
+            heartbeat_path=(
+                str(Path(heartbeat_dir) / f"{key}.heartbeat.jsonl")
+                if heartbeat_dir is not None
+                else None
+            ),
+            tracing=trace_dir is not None,
         )
 
     trials = [
@@ -403,6 +466,7 @@ def campaign_trials(
                 observability=observability(f"{base.name}-seed{seed}"),
                 sanitize=sanitize_config,
             ),
+            trace_dir=str(trace_dir) if trace_dir is not None else None,
         )
         for seed in seeds
     ]

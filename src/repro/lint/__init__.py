@@ -13,7 +13,8 @@ police the disciplines the kernel relies on:
   deterministic order (never direct heap manipulation, never NaN/negative
   delays, never hash-dependent iteration).
 
-Rules SIM001-SIM008 analyse one file at a time.  Rules SIM009-SIM012 run
+Rules SIM001-SIM008 and SIM013-SIM014 analyse one file at a time.
+Rules SIM009-SIM012 run
 over the whole program — the project loader (:mod:`repro.lint.graph`)
 parses ``src/``, ``tests/`` and ``examples/`` once, builds the import
 graph and per-module symbol tables, and the data-flow layer
@@ -36,6 +37,8 @@ SIM009    RNG not derived via ``repro.core.seeding`` injected into a component
 SIM010    set/dict iteration order reaching scheduling, heaps, or the trace
 SIM011    float ``==``/``!=`` comparison against simulated time
 SIM012    literal whose unit contradicts the parameter's unit suffix
+SIM013    bare ``assert`` in production code (stripped under ``-O``)
+SIM014    host-clock call in kernel/protocol code (obs/perf only)
 ========  =============================================================
 
 Any finding can be suppressed on its line with ``# simlint: disable=SIMxxx``

@@ -729,6 +729,70 @@ class BareAssertRule(Rule):
             )
 
 
+# -- SIM014 --------------------------------------------------------------------
+
+
+#: Packages where *no* host-clock read is acceptable, suppressed or not:
+#: kernel and protocol layers must be wall-clock-free so traced/profiled
+#: runs stay bit-identical to plain ones.
+_CLOCK_FREE_DIRS = frozenset(
+    {"des", "mac", "net", "phy", "routing", "transport"}
+)
+
+
+class KernelWallClockRule(Rule):
+    """SIM014: host-clock reads inside kernel/protocol packages.
+
+    SIM002 polices wall-clock reads in simulation code generally, and a
+    deliberate host-side read there is waved through with an inline
+    suppression.  The kernel and the protocol stack get no such waiver:
+    ``repro/{des,mac,net,phy,routing,transport}`` must never touch the
+    host clock, because the causal tracer and wall-clock profiler prove
+    digest-neutrality by construction — the kernel calls profiler hooks
+    and only ``repro.obs`` / ``repro.perf`` read ``perf_counter``.  A
+    separate code means an existing ``disable=SIM002`` comment cannot
+    mask a clock read that creeps into these packages.
+    """
+
+    code = "SIM014"
+    summary = "host-clock call in kernel/protocol code (repro.obs/repro.perf only)"
+
+    def check(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        if ctx.in_tests:
+            return
+        parts = PurePosixPath(ctx.path.replace("\\", "/")).parts
+        if "repro" not in parts:
+            return
+        after_repro = parts[parts.index("repro") + 1 : -1]
+        if not any(part in _CLOCK_FREE_DIRS for part in after_repro):
+            return
+        time_aliases, time_members = _collect_aliases(
+            ctx.tree, "time", _WALL_CLOCK_TIME_FUNCS
+        )
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id in time_aliases
+                and func.attr in _WALL_CLOCK_TIME_FUNCS
+            ):
+                called = f"time.{func.attr}()"
+            elif isinstance(func, ast.Name) and func.id in time_members:
+                called = f"{time_members[func.id]}()"
+            else:
+                continue
+            yield self._diag(
+                ctx,
+                node,
+                f"{called} inside a kernel/protocol package; only "
+                "repro.obs and repro.perf may read the host clock — "
+                "route timing through the profiler/heartbeat hooks",
+            )
+
+
 #: The registry, in code order.
 ALL_RULES: tuple[Rule, ...] = (
     ModuleLevelRandomRule(),
@@ -740,6 +804,7 @@ ALL_RULES: tuple[Rule, ...] = (
     SilentSwallowRule(),
     MetricNameRule(),
     BareAssertRule(),
+    KernelWallClockRule(),
 )
 
 

@@ -54,6 +54,7 @@ class Node:
         self.mobility = mobility
         self.tracer = tracer
         self.journeys = obs.journey_tracker()
+        self.spans = obs.span_tracer()
         self._ledger = san.packet_ledger()
         self.phy = WirelessPhy(
             env,
@@ -182,5 +183,7 @@ class Node:
             self.tracer.record(event, self.env.now, self.address, layer, pkt)
         if self.journeys is not None:
             self.journeys.record(event, self.env.now, self.address, layer, pkt)
+        if self.spans is not None:
+            self.spans.record_packet(event, layer, self.address, pkt)
         if self._ledger is not None:
             self._ledger.record(event, self.env.now, self.address, layer, pkt)

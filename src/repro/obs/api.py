@@ -38,24 +38,28 @@ from repro.obs.registry import (
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.obs.journey import JourneyTracker
+    from repro.obs.tracing.spans import SpanTracer
 
 _registry: Optional[MetricRegistry] = None
 _journeys: Optional["JourneyTracker"] = None
+_spans: Optional["SpanTracer"] = None
 
 
 def activate(
     registry: Optional[MetricRegistry],
     journeys: Optional["JourneyTracker"] = None,
+    spans: Optional["SpanTracer"] = None,
 ) -> None:
-    """Install the active registry/journey tracker for component binding."""
-    global _registry, _journeys
+    """Install the active registry/journey/span context for binding."""
+    global _registry, _journeys, _spans
     _registry = registry
     _journeys = journeys
+    _spans = spans
 
 
 def deactivate() -> None:
     """Clear the active context (components bound so far stay bound)."""
-    activate(None, None)
+    activate(None, None, None)
 
 
 def active_registry() -> Optional[MetricRegistry]:
@@ -99,3 +103,12 @@ def journey_tracker() -> Optional["JourneyTracker"]:
     than a no-op method call.
     """
     return _journeys
+
+
+def span_tracer() -> Optional["SpanTracer"]:
+    """The active causal span tracer, or None when tracing is off.
+
+    Optional for the same reason as :func:`journey_tracker`: nodes test
+    ``is not None`` once per trace event instead of paying a no-op call.
+    """
+    return _spans

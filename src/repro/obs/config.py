@@ -6,6 +6,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.obs.journey import DEFAULT_MAX_JOURNEYS
+from repro.obs.tracing.spans import DEFAULT_MAX_SPANS
 
 
 @dataclass(frozen=True)
@@ -28,13 +29,27 @@ class ObservabilityConfig:
     #: JSONL file heartbeat records are appended to (append-per-record,
     #: so a killed run leaves every heartbeat it emitted on disk).
     heartbeat_path: Optional[str] = None
+    #: Record a causal span per executed kernel event (SpanTracer).
+    tracing: bool = False
+    #: Span cap — raw spans pin their events, so memory grows with it.
+    max_spans: int = DEFAULT_MAX_SPANS
+    #: Attribute host wall-clock time per component (WallClockProfiler).
+    profile_wall: bool = False
 
     def __post_init__(self) -> None:
         if self.max_journeys <= 0:
             raise ValueError("max_journeys must be positive")
+        if self.max_spans <= 0:
+            raise ValueError("max_spans must be positive")
         if self.heartbeat_interval is not None and self.heartbeat_interval <= 0:
             raise ValueError("heartbeat_interval must be positive")
-        if not (self.metrics or self.journeys or self.heartbeat_interval):
+        if not (
+            self.metrics
+            or self.journeys
+            or self.heartbeat_interval
+            or self.tracing
+            or self.profile_wall
+        ):
             raise ValueError(
                 "observability config enables nothing; use None on the "
                 "trial config instead"

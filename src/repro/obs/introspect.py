@@ -3,8 +3,11 @@
 :class:`RunIntrospector` runs a simulation process that wakes every
 ``interval`` *simulated* seconds and emits one heartbeat record: current
 sim time, kernel progress (events processed, events pending), wall-clock
-progress (events per wall second, wall/sim ratio), and — when a metric
-registry is attached — the compact per-layer metric snapshot.
+progress — both cumulative (events per wall second, wall/sim ratio) and
+per-interval since the previous beat (``interval_events_per_wall_s``,
+``interval_sim_wall_ratio``, the watchdog's slow-vs-hung discriminator)
+— and, when a metric registry is attached, the compact per-layer metric
+snapshot.
 
 Records accumulate in memory and, when a path is given, are appended to
 a JSONL file one line per heartbeat with the file opened and closed per
@@ -81,6 +84,10 @@ class RunIntrospector:
         self._stopped = False
         self._wall_start: Optional[float] = None
         self._events_start = 0
+        # Previous-beat snapshots for the interval (per-beat) rates.
+        self._last_wall: Optional[float] = None
+        self._last_events = 0
+        self._last_sim_time = 0.0
 
     def start(self) -> None:
         """Begin heartbeating (idempotent)."""
@@ -107,6 +114,21 @@ class RunIntrospector:
         wall_s = wall - (self._wall_start if self._wall_start is not None else wall)
         events = self.env.events_processed - self._events_start
         sim_time = self.env.now
+        # Interval (since the previous beat) rates alongside the
+        # cumulative ones: a run that was healthy for a minute and then
+        # bogged down still shows a high cumulative events/wall-s for a
+        # while, but its interval rate collapses on the very next beat —
+        # which is what lets the campaign watchdog tell "slow but alive"
+        # from "effectively hung".
+        prev_wall = self._last_wall if self._last_wall is not None else (
+            self._wall_start if self._wall_start is not None else wall
+        )
+        interval_wall_s = wall - prev_wall
+        interval_events = events - self._last_events
+        interval_sim_s = sim_time - self._last_sim_time
+        self._last_wall = wall
+        self._last_events = events
+        self._last_sim_time = sim_time
         record: dict[str, Any] = {
             "type": "heartbeat",
             "seq": self._seq,
@@ -116,6 +138,18 @@ class RunIntrospector:
             "wall_s": wall_s,
             "events_per_wall_s": (events / wall_s) if wall_s > 0 else None,
             "wall_sim_ratio": (wall_s / sim_time) if sim_time > 0 else None,
+            "interval_events": interval_events,
+            "interval_wall_s": interval_wall_s,
+            "interval_events_per_wall_s": (
+                interval_events / interval_wall_s
+                if interval_wall_s > 0
+                else None
+            ),
+            "interval_sim_wall_ratio": (
+                interval_sim_s / interval_wall_s
+                if interval_wall_s > 0
+                else None
+            ),
         }
         if self.registry is not None:
             record["metrics"] = self.registry.compact()

@@ -1,0 +1,138 @@
+"""Wall-clock profiler: host time attributed per simulator component.
+
+The kernel's profiled loop brackets every event's callback batch with
+:meth:`WallClockProfiler.begin` / :meth:`WallClockProfiler.end`; the
+profiler reads ``time.perf_counter`` (it lives in ``repro.obs``, the
+only package besides ``repro.perf`` allowed to touch the host clock —
+simlint rule SIM014 enforces that) and accumulates the delta against
+the executing component, resolved with the same attribution logic the
+span tracer uses and memoized per owner.
+
+Output is the collapsed-stack format flamegraph tooling eats directly
+(``flamegraph.pl``, speedscope, inferno): one ``frame;frame;frame
+value`` line per distinct stack, here ``node;layer;component.function``
+with the value in integer microseconds.
+
+The profiler measures *inclusive* callback time — everything a
+component does while its event fires, including the packets it pushes
+into lower layers synchronously.  That is the attribution that answers
+the ROADMAP question "where does the wall-clock go?".
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING, Any, Optional
+
+from repro.obs.tracing.attrib import Attribution, resolve
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.des.core import Environment
+
+
+class WallClockProfiler:
+    """Attributes host time per (node, layer, component) while running."""
+
+    def __init__(self) -> None:
+        #: Accumulated [seconds, events] per attribution.
+        self.samples: dict[Attribution, list] = {}
+        #: Total host seconds spent inside event callbacks.
+        self.total_wall = 0.0
+        #: Events timed.
+        self.events = 0
+        self._cache: dict[tuple[int, int], Attribution] = {}
+        self._t0 = 0.0
+        self._current: Optional[Attribution] = None
+        self._env: Optional["Environment"] = None
+
+    def install(self, env: "Environment") -> None:
+        """Attach to ``env``; every event from here on is timed."""
+        self._env = env
+        env._install_wall_profiler(self)
+
+    def uninstall(self) -> None:
+        """Detach from the environment (samples are kept)."""
+        if self._env is not None:
+            self._env._uninstall_wall_profiler()
+            self._env = None
+
+    # -- kernel hooks (hot while profiling) --------------------------------
+
+    def begin(self, event: Any, callbacks: Any) -> None:
+        """Start timing one event's callback batch."""
+        self._current = resolve(event, callbacks, self._cache)
+        self._t0 = time.perf_counter()  # simlint: disable=SIM002
+
+    def end(self) -> None:
+        """Stop timing and accumulate against the resolved component."""
+        delta = time.perf_counter() - self._t0  # simlint: disable=SIM002
+        key = self._current
+        if key is None:  # pragma: no cover - end() without begin()
+            return
+        bucket = self.samples.get(key)
+        if bucket is None:
+            self.samples[key] = [delta, 1]
+        else:
+            bucket[0] += delta
+            bucket[1] += 1
+        self.total_wall += delta
+        self.events += 1
+        self._current = None
+
+    # -- reporting ---------------------------------------------------------
+
+    def collapsed_stacks(self) -> list[str]:
+        """Flamegraph collapsed-stack lines, hottest first.
+
+        ``node;layer;name microseconds`` — pipe the joined lines into
+        ``flamegraph.pl`` (or paste into speedscope) for the flamegraph.
+        """
+        rows = sorted(
+            self.samples.items(), key=lambda kv: kv[1][0], reverse=True
+        )
+        lines = []
+        for who, (seconds, _count) in rows:
+            micros = int(round(seconds * 1e6))
+            if micros <= 0:
+                continue
+            node = f"node {who.node}" if who.node is not None else "sim"
+            lines.append(f"{node};{who.layer};{who.name} {micros}")
+        return lines
+
+    def write_collapsed(self, path: str) -> int:
+        """Write the collapsed stacks to ``path``; returns line count."""
+        lines = self.collapsed_stacks()
+        with open(path, "w", encoding="utf-8") as stream:
+            for line in lines:
+                stream.write(line + "\n")
+        return len(lines)
+
+    def report(self, top: int = 15) -> str:
+        """Human-readable table of the hottest components."""
+        rows = sorted(
+            self.samples.items(), key=lambda kv: kv[1][0], reverse=True
+        )
+        total = self.total_wall or 1e-12
+        lines = [
+            f"wall-clock profile: {self.total_wall:.3f}s inside "
+            f"{self.events} events",
+            f"{'%':>6} {'wall ms':>9} {'events':>8} "
+            f"{'ev us':>7}  component",
+        ]
+        for who, (seconds, count) in rows[: max(1, top)]:
+            node = f"n{who.node}" if who.node is not None else "sim"
+            per_event = seconds / count * 1e6 if count else 0.0
+            lines.append(
+                f"{100 * seconds / total:6.1f} {seconds * 1e3:9.2f} "
+                f"{count:8d} {per_event:7.1f}  "
+                f"{node}/{who.layer} {who.name}"
+            )
+        return "\n".join(lines)
+
+    def summary(self) -> dict[str, Any]:
+        """Trial-summary block for the observability report."""
+        return {
+            "wall_s": self.total_wall,
+            "events": self.events,
+            "components": len(self.samples),
+        }

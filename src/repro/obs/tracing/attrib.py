@@ -1,0 +1,162 @@
+"""Span attribution: who owns an executed kernel event.
+
+The kernel records raw ``(heap entry, callbacks)`` pairs and nothing
+else; everything human-readable about a span — its name, owning
+component, protocol layer, and node — is resolved here, off the hot
+path.  Resolution inspects the event's first callback:
+
+* a bound method of a :class:`~repro.des.process.Process` is the
+  process resuming — the span is named after the generator function
+  (``TdmaMac._slot_loop``) and located via the generator's code object
+  and, while the frame is alive, its ``self`` local;
+* a bound method of a ``DeferredCall``/``DeferredBatch`` trampoline is
+  unwrapped to the deferred target function where possible;
+* any other bound method is attributed to its ``__qualname__`` and the
+  owner object's node;
+* events with no callbacks fall back to the event type name.
+
+Resolutions are memoized per ``(owner id, function id)``; the raw span
+store keeps every callback (and therefore every owner) alive, so ids
+are stable for the lifetime of the trace.
+"""
+
+from __future__ import annotations
+
+from pathlib import PurePath
+from typing import Any, NamedTuple, Optional
+
+#: Layer assigned to spans the resolver cannot place.
+UNKNOWN_LAYER = "sim"
+
+
+class Attribution(NamedTuple):
+    """Resolved identity of one span."""
+
+    #: Human-readable span name (qualified function/generator name).
+    name: str
+    #: Dotted module path of the owning code ("repro.mac.tdma").
+    component: str
+    #: Protocol layer — the ``repro`` subpackage ("mac", "net", "des", ...).
+    layer: str
+    #: Owning node address, when one could be determined.
+    node: Optional[int]
+
+
+#: Attribution for events that carry no callbacks at all.
+ANONYMOUS = Attribution("<no-callback>", "repro.des", "des", None)
+
+
+def _node_of(obj: Any) -> Optional[int]:
+    """Best-effort node address of a component object."""
+    for candidate in (obj, getattr(obj, "node", None)):
+        if candidate is None:
+            continue
+        address = getattr(candidate, "address", None)
+        if isinstance(address, int):
+            return address
+    return None
+
+
+def _module_from_filename(filename: str) -> str:
+    """Dotted module path recovered from a code object's file path."""
+    parts = PurePath(filename).parts
+    if "repro" not in parts:
+        return PurePath(filename).stem
+    tail = list(parts[parts.index("repro"):])
+    if tail[-1].endswith(".py"):
+        tail[-1] = tail[-1][: -len(".py")]
+    return ".".join(tail)
+
+
+def _layer_of(module: str) -> str:
+    """Protocol layer from a dotted module path."""
+    head, _, rest = module.partition(".")
+    if head == "repro" and rest:
+        return rest.split(".", 1)[0]
+    return UNKNOWN_LAYER
+
+
+def _from_function(func: Any, owner: Any) -> Attribution:
+    """Attribution for a plain or bound function and its owner."""
+    name = getattr(func, "__qualname__", None) or getattr(
+        func, "__name__", None
+    )
+    if name is None:
+        # A callable instance (e.g. the channel's _Delivery): name it
+        # after its class and treat the instance itself as the owner.
+        cls = type(func)
+        name = cls.__qualname__
+        module = cls.__module__ or UNKNOWN_LAYER
+        if owner is None:
+            owner = func
+        return Attribution(
+            name=name,
+            component=module,
+            layer=_layer_of(module),
+            node=_node_of(owner),
+        )
+    module = getattr(func, "__module__", "") or UNKNOWN_LAYER
+    return Attribution(
+        name=name,
+        component=module,
+        layer=_layer_of(module),
+        node=_node_of(owner) if owner is not None else None,
+    )
+
+
+def _from_process(process: Any) -> Attribution:
+    """Attribution for a generator-backed process resume."""
+    generator = process._generator
+    code = getattr(generator, "gi_code", None)
+    if code is None:  # pragma: no cover - non-generator coroutine-likes
+        return _from_function(generator, None)
+    name = getattr(code, "co_qualname", None) or code.co_name
+    module = _module_from_filename(code.co_filename)
+    node: Optional[int] = None
+    frame = getattr(generator, "gi_frame", None)
+    if frame is not None:
+        node = _node_of(frame.f_locals.get("self"))
+    return Attribution(
+        name=name, component=module, layer=_layer_of(module), node=node
+    )
+
+
+def resolve(
+    event: Any, callbacks: Any, cache: dict[tuple[int, int], Attribution]
+) -> Attribution:
+    """Attribution of one executed event from its detached callbacks."""
+    cb0 = callbacks[0] if callbacks else None
+    if cb0 is None:
+        return ANONYMOUS
+    func = getattr(cb0, "__func__", cb0)
+    owner = getattr(cb0, "__self__", None)
+    key = (id(owner), id(func))
+    hit = cache.get(key)
+    if hit is not None:
+        return hit
+    resolved = _resolve_uncached(func, owner)
+    cache[key] = resolved
+    return resolved
+
+
+def _resolve_uncached(func: Any, owner: Any) -> Attribution:
+    if owner is None:
+        return _from_function(func, None)
+    # Process._resume: attribute to the generator, not the plumbing.
+    if hasattr(owner, "_generator") and func.__name__ == "_resume":
+        return _from_process(owner)
+    # DeferredCall trampoline stages: attribute to the deferred target.
+    target = getattr(owner, "_fn", None)
+    if target is not None and func.__name__ in ("_arm", "_run"):
+        target_owner = getattr(target, "__self__", None)
+        resolved = _from_function(
+            getattr(target, "__func__", target), target_owner
+        )
+        suffix = " (deferred)" if func.__name__ == "_run" else " (arm)"
+        return resolved._replace(name=resolved.name + suffix)
+    if hasattr(owner, "_items") and func.__name__ == "_arm":
+        return Attribution(
+            "DeferredBatch(fan-out)", "repro.des.events", "des",
+            _node_of(owner),
+        )
+    return _from_function(func, owner)

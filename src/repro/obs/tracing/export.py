@@ -1,0 +1,255 @@
+"""Span exporters: Chrome/Perfetto trace-event JSON and span JSONL.
+
+The Chrome export follows the Trace Event Format (the JSON dialect
+``ui.perfetto.dev`` and ``chrome://tracing`` open directly): one
+complete-slice (``ph: "X"``) event per span on a ``pid``/``tid`` grid —
+one *process* row per node (plus a shared "sim" row for kernel-level
+spans) and one *thread* track per layer — with ``M`` metadata records
+naming the rows and ``s``/``f`` flow events drawing the causal arrows
+where a span's parent lives on a different track.
+
+Timestamps are microseconds (the format's unit); sim time maps to the
+trace clock directly, so 0.24 s of initial-packet delay reads as 240 ms
+on the Perfetto timeline.
+
+The JSONL export is the compact machine-readable form: one span per
+line, round-tripped by :func:`read_spans_jsonl`.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable, Optional
+
+from repro.obs.tracing.spans import Mark, Span
+
+#: pid used for spans that belong to no particular node.
+SIM_PID = 0
+
+#: Event phases the validator (and therefore the exporter) admits.
+_KNOWN_PHASES = {"X", "M", "s", "f", "B", "E", "i", "C"}
+
+
+def _grid(spans: Iterable[Span]) -> tuple[dict[Optional[int], int], dict[str, int]]:
+    """Stable pid per node and tid per layer."""
+    nodes = sorted({s.node for s in spans if s.node is not None})
+    pids: dict[Optional[int], int] = {None: SIM_PID}
+    for node in nodes:
+        pids[node] = node + 1
+    layers = sorted({s.layer for s in spans})
+    tids = {layer: index + 1 for index, layer in enumerate(layers)}
+    return pids, tids
+
+
+def to_chrome_trace(
+    spans: list[Span], label: Optional[str] = None, flows: bool = True
+) -> dict[str, Any]:
+    """Spans as a Chrome trace-event document (a JSON-able dict).
+
+    With ``flows`` (default), parent links that cross tracks — a span
+    scheduled by an event on another node or layer — are drawn as flow
+    arrows; same-track links are left implicit to keep the view legible.
+    """
+    pids, tids = _grid(spans)
+    events: list[dict[str, Any]] = []
+    for node, pid in sorted(pids.items(), key=lambda kv: kv[1]):
+        events.append(
+            {
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "name": "process_name",
+                "args": {
+                    "name": "sim" if node is None else f"node {node}"
+                },
+            }
+        )
+    for layer, tid in sorted(tids.items(), key=lambda kv: kv[1]):
+        for pid in sorted(pids.values()):
+            events.append(
+                {
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": tid,
+                    "name": "thread_name",
+                    "args": {"name": layer},
+                }
+            )
+    by_sid = {span.sid: span for span in spans}
+    for span in spans:
+        pid = pids[span.node]
+        tid = tids[span.layer]
+        args: dict[str, Any] = {
+            "sid": span.sid,
+            "etype": span.etype,
+            "component": span.component,
+        }
+        if span.parent is not None:
+            args["parent"] = span.parent
+        if span.marks:
+            args["uids"] = span.uids
+            args["marks"] = [
+                f"{m.code} {m.layer} n{m.node} uid={m.uid}" for m in span.marks
+            ]
+        events.append(
+            {
+                "ph": "X",
+                "name": span.name,
+                "cat": span.layer,
+                "pid": pid,
+                "tid": tid,
+                "ts": span.scheduled_at * 1e6,
+                "dur": span.wait * 1e6,
+                "args": args,
+            }
+        )
+        if flows and span.parent is not None:
+            parent = by_sid.get(span.parent)
+            if parent is not None and (
+                parent.node != span.node or parent.layer != span.layer
+            ):
+                flow_id = span.sid
+                events.append(
+                    {
+                        "ph": "s",
+                        "id": flow_id,
+                        "name": "sched",
+                        "cat": "sched",
+                        "pid": pids[parent.node],
+                        "tid": tids[parent.layer],
+                        "ts": parent.fired_at * 1e6,
+                    }
+                )
+                events.append(
+                    {
+                        "ph": "f",
+                        "id": flow_id,
+                        "name": "sched",
+                        "cat": "sched",
+                        "bp": "e",
+                        "pid": pid,
+                        "tid": tid,
+                        "ts": span.fired_at * 1e6,
+                    }
+                )
+    doc: dict[str, Any] = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+    }
+    if label is not None:
+        doc["otherData"] = {"scenario": label}
+    return doc
+
+
+def write_chrome_trace(
+    path: str,
+    spans: list[Span],
+    label: Optional[str] = None,
+    flows: bool = True,
+) -> int:
+    """Write the Chrome trace JSON; returns the trace-event count."""
+    doc = to_chrome_trace(spans, label=label, flows=flows)
+    with open(path, "w", encoding="utf-8") as stream:
+        json.dump(doc, stream)
+        stream.write("\n")
+    return len(doc["traceEvents"])
+
+
+def validate_chrome_trace(doc: Any) -> list[str]:
+    """Schema errors for a Chrome trace-event document ([] when valid).
+
+    Checks the object-format invariants ``ui.perfetto.dev`` relies on:
+    a ``traceEvents`` list whose members carry a known ``ph``, integer
+    ``pid``/``tid``, numeric ``ts`` (except metadata), a numeric ``dur``
+    and ``name`` on complete events, ``process_name``/``thread_name``
+    metadata shape, and an ``id`` on every flow event.
+    """
+    errors: list[str] = []
+    if not isinstance(doc, dict):
+        return [f"document must be an object, got {type(doc).__name__}"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents must be a list"]
+    for index, event in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        ph = event.get("ph")
+        if ph not in _KNOWN_PHASES:
+            errors.append(f"{where}: unknown phase {ph!r}")
+            continue
+        for key in ("pid", "tid"):
+            if not isinstance(event.get(key), int):
+                errors.append(f"{where}: {key} must be an integer")
+        if ph != "M" and not isinstance(event.get("ts"), (int, float)):
+            errors.append(f"{where}: ts must be numeric")
+        if ph == "X":
+            if not isinstance(event.get("dur"), (int, float)):
+                errors.append(f"{where}: dur must be numeric")
+            if event.get("dur", 0) < 0:
+                errors.append(f"{where}: dur must be non-negative")
+            if not isinstance(event.get("name"), str):
+                errors.append(f"{where}: name must be a string")
+        if ph == "M":
+            if event.get("name") not in ("process_name", "thread_name"):
+                errors.append(f"{where}: unknown metadata {event.get('name')!r}")
+            args = event.get("args")
+            if not (isinstance(args, dict) and isinstance(args.get("name"), str)):
+                errors.append(f"{where}: metadata args.name must be a string")
+        if ph in ("s", "f") and "id" not in event:
+            errors.append(f"{where}: flow event without an id")
+    return errors
+
+
+def span_to_dict(span: Span) -> dict[str, Any]:
+    """One span as a JSON-able dict (the JSONL line shape)."""
+    return {
+        "sid": span.sid,
+        "parent": span.parent,
+        "seq": span.seq,
+        "name": span.name,
+        "etype": span.etype,
+        "layer": span.layer,
+        "node": span.node,
+        "component": span.component,
+        "scheduled_at": span.scheduled_at,
+        "fired_at": span.fired_at,
+        "marks": [mark.to_list() for mark in span.marks],
+    }
+
+
+def span_from_dict(data: dict[str, Any]) -> Span:
+    """Inverse of :func:`span_to_dict`."""
+    return Span(
+        sid=data["sid"],
+        parent=data.get("parent"),
+        seq=data["seq"],
+        name=data["name"],
+        etype=data["etype"],
+        layer=data["layer"],
+        node=data.get("node"),
+        component=data["component"],
+        scheduled_at=data["scheduled_at"],
+        fired_at=data["fired_at"],
+        marks=[Mark(*mark) for mark in data.get("marks", [])],
+    )
+
+
+def write_spans_jsonl(path: str, spans: list[Span]) -> int:
+    """One span per line; returns the number of lines written."""
+    with open(path, "w", encoding="utf-8") as stream:
+        for span in spans:
+            stream.write(json.dumps(span_to_dict(span)) + "\n")
+    return len(spans)
+
+
+def read_spans_jsonl(path: str) -> list[Span]:
+    """Read a span JSONL file back into :class:`Span` objects."""
+    spans: list[Span] = []
+    with open(path, "r", encoding="utf-8") as stream:
+        for line in stream:
+            line = line.strip()
+            if line:
+                spans.append(span_from_dict(json.loads(line)))
+    return spans

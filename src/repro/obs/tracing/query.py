@@ -1,0 +1,249 @@
+"""Span queries: filters, causal chains, and their text rendering.
+
+This is what ``ebl-sim trace`` runs after recording a trial.  The two
+core views:
+
+* :func:`filter_spans` — slice the span list by uid, layer, node, and
+  sim-time window;
+* :func:`causal_chain` — walk parent links backwards from a span to its
+  root, answering "why did this happen *now*?".  For the initial EBL
+  warning the chain reads, newest first: the delivery event, the channel
+  hop, the MAC transmission it rode, the slot/backoff waits before it,
+  the routing discovery that found the path, back to the application
+  send — with each span's sim-time wait attached, so the 0.24 s TDMA
+  initial delay (paper claim S6) decomposes into its actual causes.
+
+Long chains run through service loops (every TDMA slot iteration chains
+to the previous one), so the renderer collapses consecutive same-name
+spans into one line with a repeat count and the combined time range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.obs.tracing.spans import Span
+
+#: Packet types that count as application data (matches the journey
+#: tracker's delivery rules).
+DATA_PTYPES = ("tcp", "udp", "cbr", "ebl")
+
+
+def filter_spans(
+    spans: Iterable[Span],
+    uid: Optional[int] = None,
+    layer: Optional[str] = None,
+    node: Optional[int] = None,
+    since: Optional[float] = None,
+    until: Optional[float] = None,
+    name: Optional[str] = None,
+) -> list[Span]:
+    """Spans matching every given criterion (None = don't care).
+
+    ``uid`` matches spans whose packet marks touched that uid; ``since``
+    / ``until`` bound the span's fired time; ``name`` is a case-
+    insensitive substring of the span name.
+    """
+    needle = name.lower() if name is not None else None
+    out: list[Span] = []
+    for span in spans:
+        if uid is not None and uid not in (m.uid for m in span.marks):
+            continue
+        if layer is not None and span.layer != layer:
+            continue
+        if node is not None and span.node != node:
+            continue
+        if since is not None and span.fired_at < since:
+            continue
+        if until is not None and span.fired_at > until:
+            continue
+        if needle is not None and needle not in span.name.lower():
+            continue
+        out.append(span)
+    return out
+
+
+def delivery_span(
+    spans: Iterable[Span], uid: int, dst: Optional[int] = None
+) -> Optional[Span]:
+    """The span in which packet ``uid`` was delivered to its application.
+
+    Delivery is the journey tracker's rule: the first ``r AGT`` mark for
+    the uid (optionally at node ``dst``).
+    """
+    for span in spans:
+        for mark in span.marks:
+            if (
+                mark.uid == uid
+                and mark.code == "r"
+                and mark.layer == "AGT"
+                and (dst is None or mark.node == dst)
+            ):
+                return span
+    return None
+
+
+def send_time(spans: Iterable[Span], uid: int) -> Optional[float]:
+    """Sim time of the ``s AGT`` mark for ``uid`` (application send)."""
+    for span in spans:
+        for mark in span.marks:
+            if mark.uid == uid and mark.code == "s" and mark.layer == "AGT":
+                return span.fired_at
+    return None
+
+
+def initial_warning_uid(
+    spans: Iterable[Span], src: int, dst: int
+) -> Optional[int]:
+    """Uid of the first data packet delivered from ``src`` to ``dst``.
+
+    The initial EBL warning of a flow: the earliest ``r AGT`` data mark
+    at ``dst`` whose uid was sent (``s AGT``) at ``src``.
+    """
+    sent: set[int] = set()
+    best: Optional[tuple[float, int]] = None
+    for span in spans:
+        for mark in span.marks:
+            if mark.ptype not in DATA_PTYPES:
+                continue
+            if mark.code == "s" and mark.layer == "AGT" and mark.node == src:
+                sent.add(mark.uid)
+            elif (
+                mark.code == "r"
+                and mark.layer == "AGT"
+                and mark.node == dst
+                and mark.uid in sent
+            ):
+                if best is None or span.fired_at < best[0]:
+                    best = (span.fired_at, mark.uid)
+    return best[1] if best is not None else None
+
+
+def causal_chain(spans: list[Span], sid: int) -> list[Span]:
+    """The span and its causal ancestry, oldest first.
+
+    Walks parent links from ``sid`` back to a root (a span scheduled
+    outside the event loop).  Parent links always point at earlier
+    executions, so the walk terminates.
+    """
+    by_sid = {span.sid: span for span in spans}
+    chain: list[Span] = []
+    cursor = by_sid.get(sid)
+    while cursor is not None:
+        chain.append(cursor)
+        cursor = (
+            by_sid.get(cursor.parent) if cursor.parent is not None else None
+        )
+    chain.reverse()
+    return chain
+
+
+@dataclass
+class ChainStep:
+    """One rendered chain line: a span, or a collapsed run of repeats."""
+
+    span: Span
+    count: int
+    first_at: float
+
+
+def collapse_chain(chain: list[Span]) -> list[ChainStep]:
+    """Merge consecutive same-name spans (service-loop iterations)."""
+    steps: list[ChainStep] = []
+    for span in chain:
+        if (
+            steps
+            and steps[-1].span.name == span.name
+            and steps[-1].span.node == span.node
+        ):
+            steps[-1] = ChainStep(
+                span=span, count=steps[-1].count + 1,
+                first_at=steps[-1].first_at,
+            )
+        else:
+            steps.append(ChainStep(span=span, count=1,
+                                   first_at=span.scheduled_at))
+    return steps
+
+
+def _where(span: Span) -> str:
+    node = f"n{span.node}" if span.node is not None else "sim"
+    return f"{node}/{span.layer}"
+
+
+def render_chain(
+    chain: list[Span], uid: Optional[int] = None, limit: int = 40
+) -> str:
+    """Text rendering of a causal chain, oldest first.
+
+    Collapsed steps show a repeat count; each line carries the span's
+    sim-time wait (fired - scheduled).  ``limit`` bounds the number of
+    rendered steps (the oldest are elided, the delivery end is always
+    shown).
+    """
+    steps = collapse_chain(chain)
+    elided = 0
+    if limit > 0 and len(steps) > limit:
+        elided = len(steps) - limit
+        steps = steps[-limit:]
+    lines = []
+    if elided:
+        lines.append(f"  ... {elided} earlier step(s) elided ...")
+    for step in steps:
+        span = step.span
+        repeat = f" x{step.count}" if step.count > 1 else ""
+        window = (
+            f"t={step.first_at:.6f}..{span.fired_at:.6f}"
+            if step.count > 1
+            else f"t={span.scheduled_at:.6f}->{span.fired_at:.6f}"
+        )
+        wait = span.fired_at - step.first_at
+        marks = ""
+        if span.marks:
+            shown = [
+                f"{m.code} {m.layer} uid={m.uid}"
+                for m in span.marks
+                if uid is None or m.uid == uid
+            ]
+            if shown:
+                marks = "  [" + "; ".join(shown) + "]"
+        lines.append(
+            f"  {window}  (+{wait:.6f}s)  {_where(span):>8}  "
+            f"{span.name}{repeat}{marks}"
+        )
+    return "\n".join(lines)
+
+
+def render_spans_table(spans: list[Span], limit: int = 40) -> str:
+    """Flat listing of spans (the filter-query output)."""
+    lines = [
+        f"  {'fired at':>12}  {'wait s':>10}  {'where':>8}  name  [marks]"
+    ]
+    shown = spans if limit <= 0 else spans[:limit]
+    for span in shown:
+        marks = "; ".join(
+            f"{m.code} {m.layer} uid={m.uid}" for m in span.marks
+        )
+        lines.append(
+            f"  {span.fired_at:12.6f}  {span.wait:10.6f}  {_where(span):>8}  "
+            f"{span.name}" + (f"  [{marks}]" if marks else "")
+        )
+    if limit > 0 and len(spans) > limit:
+        lines.append(f"  ... {len(spans) - limit} more not shown ...")
+    return "\n".join(lines)
+
+
+def render_journey_spans(spans: list[Span], uid: int) -> str:
+    """The packet's own touches, in time order (the journey view)."""
+    touched = filter_spans(spans, uid=uid)
+    lines = []
+    for span in touched:
+        marks = "; ".join(
+            f"{m.code} {m.layer}" for m in span.marks if m.uid == uid
+        )
+        lines.append(
+            f"  t={span.fired_at:.6f}  {_where(span):>8}  "
+            f"{span.name}  [{marks}]"
+        )
+    return "\n".join(lines)

@@ -80,6 +80,8 @@ def bench_trial(
     repeats: int,
     observe: bool = False,
     sanitize: bool = False,
+    trace: bool = False,
+    profile_wall: bool = False,
 ) -> dict[str, Any]:
     """Benchmark one trial config, returning its report entry.
 
@@ -89,12 +91,25 @@ def bench_trial(
     overhead (the <10% bench guard measures exactly this).  ``sanitize``
     does the same for the runtime sanitizer: the wall clock includes the
     invariant-checking overhead, and the entry reports the violation
-    count (which must be zero on the canonical trials).
+    count (which must be zero on the canonical trials).  ``trace`` runs
+    with the causal span tracer recording — the entry reports the span
+    count, and its wall clock is what the <10% tracing-overhead gate
+    compares against an untraced run.  ``profile_wall`` attributes host
+    time per component; the entry carries the hottest collapsed stacks
+    (``profile_top``) and the full flamegraph lines (``collapsed``).
     """
+    observability = None
+    if observe or trace or profile_wall:
+        observability = ObservabilityConfig(
+            metrics=observe,
+            journeys=observe,
+            tracing=trace,
+            profile_wall=profile_wall,
+        )
     cfg = config.with_overrides(
         duration=duration,
         enable_trace=False,
-        observability=ObservabilityConfig() if observe else None,
+        observability=observability,
         sanitize=SanitizerConfig() if sanitize else None,
     )
     best_wall = float("inf")
@@ -102,6 +117,9 @@ def bench_trial(
     packets = 0
     metrics: dict[str, float] = {}
     violations = 0
+    spans = 0
+    spans_dropped = 0
+    collapsed: list[str] = []
     for _ in range(max(1, repeats)):
         start = time.perf_counter()  # simlint: disable=SIM002
         result = run_trial(cfg)
@@ -114,6 +132,11 @@ def bench_trial(
             obs = result.observability
             if obs is not None and obs.registry is not None:
                 metrics = obs.registry.compact()
+            if obs is not None and obs.spans is not None:
+                spans = len(obs.spans)
+                spans_dropped = obs.spans.dropped
+            if obs is not None and obs.profiler is not None:
+                collapsed = obs.profiler.collapsed_stacks()
             report = result.sanitizer_report
             if report is not None:
                 violations = len(report) + report.overflow
@@ -131,6 +154,12 @@ def bench_trial(
         entry["metrics"] = metrics
     if sanitize:
         entry["violations"] = violations
+    if trace:
+        entry["spans"] = spans
+        entry["spans_dropped"] = spans_dropped
+    if profile_wall:
+        entry["profile_top"] = collapsed[:10]
+        entry["collapsed"] = collapsed
     return entry
 
 
@@ -141,6 +170,8 @@ def run_bench(
     trials: Optional[Iterable[str]] = None,
     observe: bool = False,
     sanitize: bool = False,
+    trace: bool = False,
+    profile_wall: bool = False,
 ) -> dict[str, Any]:
     """Run the bench suite and return the full report dict."""
     if profile not in PROFILES:
@@ -156,6 +187,8 @@ def run_bench(
         "fastpath": fastpath_enabled(),
         "observability": observe,
         "sanitizer": sanitize,
+        "tracing": trace,
+        "profile_wall": profile_wall,
         "python": "%d.%d.%d" % sys.version_info[:3],
         "trials": {},
     }
@@ -166,6 +199,8 @@ def run_bench(
             repeats if repeats is not None else settings["repeats"],
             observe=observe,
             sanitize=sanitize,
+            trace=trace,
+            profile_wall=profile_wall,
         )
     return report
 
@@ -231,6 +266,7 @@ def format_report(report: dict[str, Any]) -> str:
         f"bench profile={report['profile']} "
         f"fastpath={'on' if report['fastpath'] else 'off'} "
         f"obs={'on' if report.get('observability') else 'off'} "
+        f"trace={'on' if report.get('tracing') else 'off'} "
         f"python={report['python']}",
         f"{'trial':>8} {'sim s':>7} {'wall s':>8} {'events/s':>12} "
         f"{'packets/s':>10} {'rss MB':>7}",

@@ -285,3 +285,68 @@ class TestCampaignViolationStatus:
         )
         assert restored.status == "violation"
         assert restored.violations == outcome.violations
+
+
+class TestCampaignTraceDir:
+    def test_trace_dir_arms_tracing_on_every_trial(self, tmp_path):
+        trials = campaign_trials(
+            tiny_config(), seeds=[1, 2], trace_dir=tmp_path / "traces"
+        )
+        for trial in trials:
+            assert trial.trace_dir == str(tmp_path / "traces")
+            assert trial.config.observability.tracing is True
+            # Memory discipline: no journeys, no heartbeat unless asked.
+            assert trial.config.observability.journeys is False
+        plain = campaign_trials(tiny_config(), seeds=[1])
+        assert plain[0].trace_dir is None
+
+    def test_ok_trials_leave_no_trace_files(self, tmp_path):
+        trace_dir = tmp_path / "traces"
+        trials = campaign_trials(tiny_config(), seeds=[1], trace_dir=trace_dir)
+        result = run_campaign(
+            trials, timeout=60.0, checkpoint=tmp_path / "c.jsonl"
+        )
+        outcome = result.outcome("campaign-test-seed1")
+        assert outcome.status == "ok"
+        assert outcome.trace == ""
+        assert not trace_dir.exists() or not list(trace_dir.iterdir())
+
+    @pytest.mark.skipif(
+        "fork" not in __import__("multiprocessing").get_all_start_methods(),
+        reason="needs fork so the seeded bug reaches the worker process",
+    )
+    def test_violation_trial_exports_a_valid_perfetto_trace(
+        self, tmp_path, monkeypatch
+    ):
+        from repro.obs import ObservabilityConfig
+        from repro.obs.tracing import validate_chrome_trace
+        from tests.sanitizer.test_fuzz import (
+            bug_triggering_config,
+            install_off_by_one_queue_bug,
+        )
+
+        install_off_by_one_queue_bug(monkeypatch)
+        trace_dir = tmp_path / "traces"
+        trial = CampaignTrial(
+            key="buggy",
+            config=bug_triggering_config(
+                observability=ObservabilityConfig(
+                    metrics=False, journeys=False, tracing=True
+                )
+            ),
+            trace_dir=str(trace_dir),
+        )
+        result = run_campaign(
+            [trial], timeout=60.0, checkpoint=tmp_path / "c.jsonl"
+        )
+        outcome = result.outcome("buggy")
+        assert outcome.status == "violation"
+        assert outcome.trace == str(trace_dir / "buggy.perfetto.json")
+        doc = json.loads((trace_dir / "buggy.perfetto.json").read_text())
+        assert validate_chrome_trace(doc) == []
+        assert doc["otherData"] == {"scenario": "buggy"}
+        # The trace path survives the checkpoint round trip.
+        restored = TrialOutcome.from_json(
+            (tmp_path / "c.jsonl").read_text().splitlines()[0]
+        )
+        assert restored.trace == outcome.trace

@@ -358,6 +358,50 @@ class TestSim013:
         assert codes(src) == []
 
 
+# -- SIM014: host clock in kernel/protocol code -------------------------------
+
+
+class TestSim014:
+    KERNEL = "src/repro/des/core.py"
+    PROTO = "src/repro/mac/tdma.py"
+
+    def test_time_time_in_kernel_flagged_alongside_sim002(self):
+        diags = lint_source("import time\nt = time.time()\n", self.KERNEL)
+        assert [d.code for d in diags] == ["SIM002", "SIM014"]
+
+    def test_perf_counter_from_import_in_protocol_flagged(self):
+        src = "from time import perf_counter\nt = perf_counter()\n"
+        assert "SIM014" in codes(src, self.PROTO)
+
+    def test_sim002_suppression_does_not_mask_sim014(self):
+        # The whole point of the separate code: an existing SIM002
+        # waiver cannot quietly admit a clock read into the kernel.
+        src = "import time\nt = time.time()  # simlint: disable=SIM002\n"
+        assert codes(src, self.KERNEL) == ["SIM014"]
+
+    def test_obs_and_perf_packages_are_exempt(self):
+        src = "import time\nt = time.perf_counter()  # simlint: disable=SIM002\n"
+        assert codes(src, "src/repro/obs/profiling.py") == []
+        assert codes(src, "src/repro/perf/bench.py") == []
+
+    def test_outside_repro_and_in_tests_exempt(self):
+        src = "import time\nt = time.time()  # simlint: disable=SIM002\n"
+        assert codes(src, "scripts/tool.py") == []
+        assert codes(src, "tests/des/test_core.py") == []
+
+    def test_aliased_module_flagged(self):
+        src = "import time as clock\nt = clock.monotonic()  # simlint: disable=SIM002\n"
+        assert codes(src, self.PROTO) == ["SIM014"]
+
+    def test_non_clock_time_functions_clean(self):
+        src = "import time\ns = time.strftime('%H')  # simlint: disable=SIM002\n"
+        assert "SIM014" not in codes(src, self.KERNEL)
+
+    def test_suppressed(self):
+        src = "import time\nt = time.time()  # simlint: disable\n"
+        assert codes(src, self.KERNEL) == []
+
+
 # -- suppression mechanics ----------------------------------------------------
 
 

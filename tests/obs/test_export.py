@@ -157,3 +157,84 @@ class TestRenderers:
 
     def test_summary_none_when_empty(self):
         assert render_journeys_summary(JourneyTracker()) is None
+
+
+class _StubRegistry:
+    """Registry stand-in whose metric names defeat naive CSV/JSONL writing.
+
+    ``METRIC_NAME_RE`` forbids such names at registration time, so the
+    writers can only meet them through a stand-in — but they must still
+    escape correctly: the export format should never depend on the
+    registry's naming discipline.
+    """
+
+    NAMES = (
+        'mac,queue."depth"',
+        "delay\nnewline",
+        "plain.metric",
+    )
+
+    def snapshot(self):
+        return {name: {"type": "counter", "value": 1.0} for name in self.NAMES}
+
+    def compact(self):
+        return {name: 1.5 for name in self.NAMES}
+
+
+class TestExportEscaping:
+    def test_csv_round_trips_comma_quote_and_newline_names(self, tmp_path):
+        path = tmp_path / "metrics.csv"
+        count = write_metrics_csv(_StubRegistry(), str(path))
+        assert count == 3
+        with open(path, newline="") as fh:
+            rows = list(csv.reader(fh))
+        assert rows[0] == ["name", "value"]
+        assert [row[0] for row in rows[1:]] == list(_StubRegistry.NAMES)
+        assert all(row[1] == "1.5" for row in rows[1:])
+
+    def test_jsonl_round_trips_awkward_names(self, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        count = write_metrics_jsonl(_StubRegistry(), str(path))
+        lines = path.read_text().splitlines()
+        assert len(lines) == count == 3
+        names = [json.loads(line)["name"] for line in lines]
+        assert names == list(_StubRegistry.NAMES)
+
+
+class TestInspectExportCli:
+    def test_export_files_round_trip_through_readers(self, tmp_path, capsys):
+        from repro.cli import main
+
+        prefix = tmp_path / "trial3"
+        code = main(
+            ["inspect", "--trial", "3", "--duration", "2.0",
+             "--export", str(prefix)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+
+        metrics_jsonl = [
+            json.loads(line)
+            for line in (tmp_path / "trial3.metrics.jsonl").read_text().splitlines()
+        ]
+        assert metrics_jsonl, "no metrics exported"
+        assert all("name" in rec for rec in metrics_jsonl)
+        with open(tmp_path / "trial3.metrics.csv", newline="") as fh:
+            metrics_csv = list(csv.reader(fh))
+        assert metrics_csv[0] == ["name", "value"]
+        # The CSV is the compact scalar view of the same registry: every
+        # CSV name is a metric the JSONL also carries.
+        jsonl_names = {rec["name"] for rec in metrics_jsonl}
+        assert {row[0] for row in metrics_csv[1:]} <= jsonl_names
+
+        journeys_jsonl = [
+            json.loads(line)
+            for line in (tmp_path / "trial3.journeys.jsonl").read_text().splitlines()
+        ]
+        with open(tmp_path / "trial3.journeys.csv", newline="") as fh:
+            journeys_csv = list(csv.reader(fh))
+        assert journeys_csv[0][:4] == ["uid", "ptype", "src", "dst"]
+        assert len(journeys_csv) - 1 == len(journeys_jsonl) > 0
+        # Row counts printed to the terminal match what landed on disk.
+        assert f"wrote {len(metrics_jsonl)} records" in out
+        assert f"wrote {len(journeys_jsonl)} records" in out

@@ -103,3 +103,48 @@ class TestReadLastHeartbeat:
         path = tmp_path / "hb.jsonl"
         path.write_text("[1, 2]\n" + json.dumps({"seq": 7}) + "\n42\n")
         assert read_last_heartbeat(str(path)) == {"seq": 7}
+
+
+class TestHeartbeatIntervalRates:
+    """Per-interval rates: the watchdog's slow-vs-hung discriminator."""
+
+    def test_every_record_carries_interval_fields(self, env):
+        intro = RunIntrospector(env, interval=1.0)
+        intro.start()
+        env.run(until=4.5)
+        assert len(intro.records) == 4
+        for record in intro.records:
+            assert record["interval_events"] >= 0
+            assert record["interval_wall_s"] >= 0.0
+            assert "interval_events_per_wall_s" in record
+            assert "interval_sim_wall_ratio" in record
+
+    def test_interval_events_partition_the_cumulative_count(self, env):
+        intro = RunIntrospector(env, interval=1.0)
+        intro.start()
+        env.run(until=5.5)
+        total = sum(r["interval_events"] for r in intro.records)
+        assert total == intro.records[-1]["events"]
+        # The first beat's interval is the whole run so far.
+        assert intro.records[0]["interval_events"] == intro.records[0]["events"]
+
+    def test_interval_rates_are_positive_when_wall_elapsed(self, env):
+        intro = RunIntrospector(env, interval=1.0)
+        intro.start()
+
+        def busy(env):
+            while True:
+                sum(range(10_000))  # give each interval measurable wall time
+                yield env.timeout(0.25)
+
+        env.process(busy(env))
+        env.run(until=3.5)
+        for record in intro.records:
+            if record["interval_wall_s"] > 0:
+                assert record["interval_events_per_wall_s"] > 0
+                # 1 simulated second per beat, tiny wall time: the
+                # sim/wall ratio is large and positive, never None.
+                assert record["interval_sim_wall_ratio"] > 0
+            else:  # degenerate timer resolution: rates are declared unknown
+                assert record["interval_events_per_wall_s"] is None
+                assert record["interval_sim_wall_ratio"] is None

@@ -1,0 +1,96 @@
+"""Tests for the wall-clock profiler and its flamegraph output."""
+
+from __future__ import annotations
+
+import re
+
+from repro.des import Environment
+from repro.obs.profiling import WallClockProfiler
+
+#: collapsed-stack line: ``node;layer;name micros``.
+_COLLAPSED_RE = re.compile(r"^(sim|node \d+);[^;]+;\S.* \d+$")
+
+
+class _Worker:
+    """A component whose callback burns a measurable slice of host time."""
+
+    def __init__(self, env):
+        self.env = env
+        self.runs = 0
+
+    def _run(self, _event):
+        self.runs += 1
+        sum(range(20_000))  # keep the sample comfortably above 0 us
+        if self.runs < 3:
+            event = self.env.event()
+            event.callbacks.append(self._run)
+            self.env.schedule(event, delay=1.0)
+
+
+def profiled_run():
+    env = Environment()
+    profiler = WallClockProfiler()
+    profiler.install(env)
+    worker = _Worker(env)
+    event = env.event()
+    event.callbacks.append(worker._run)
+    env.schedule(event, delay=1.0)
+    env.run()
+    profiler.uninstall()
+    return profiler, worker
+
+
+class TestSampling:
+    def test_samples_accumulate_per_component(self):
+        profiler, worker = profiled_run()
+        assert worker.runs == 3
+        assert profiler.events == 3
+        assert profiler.total_wall > 0.0
+        # All three runs resolve to the same bound-method attribution.
+        (who, (seconds, count)), = profiler.samples.items()
+        assert count == 3
+        assert seconds > 0.0
+        assert who.name.endswith("_Worker._run")
+
+    def test_uninstall_stops_timing(self):
+        env = Environment()
+        profiler = WallClockProfiler()
+        profiler.install(env)
+        profiler.uninstall()
+
+        def proc(env):
+            yield env.timeout(1.0)
+
+        env.process(proc(env))
+        env.run()
+        assert profiler.events == 0
+
+    def test_summary_block(self):
+        profiler, _ = profiled_run()
+        summary = profiler.summary()
+        assert summary["events"] == 3
+        assert summary["components"] == 1
+        assert summary["wall_s"] == profiler.total_wall
+
+
+class TestOutput:
+    def test_collapsed_stack_line_format(self):
+        profiler, _ = profiled_run()
+        lines = profiler.collapsed_stacks()
+        assert lines
+        for line in lines:
+            assert _COLLAPSED_RE.match(line), line
+
+    def test_write_collapsed_returns_line_count(self, tmp_path):
+        profiler, _ = profiled_run()
+        path = tmp_path / "profile.folded"
+        count = profiler.write_collapsed(str(path))
+        written = [l for l in path.read_text().splitlines() if l]
+        assert len(written) == count == len(profiler.collapsed_stacks())
+
+    def test_report_lists_hottest_components(self):
+        profiler, _ = profiled_run()
+        report = profiler.report(top=5)
+        assert "wall-clock profile" in report
+        assert "3 events" in report
+        assert "_Worker._run" in report

@@ -1,0 +1,146 @@
+"""Tests for the span exporters: Chrome trace-event JSON and JSONL.
+
+The Chrome documents built here are synthetic (three-span delivery);
+``test_tracing_trial.py`` validates a full recorded trial against the
+same schema checker.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.tracing import (
+    read_spans_jsonl,
+    to_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_spans_jsonl,
+)
+from repro.obs.tracing.export import SIM_PID, span_from_dict, span_to_dict
+from repro.obs.tracing.spans import Mark, Span
+
+
+def make_span(sid, parent=None, seq=0, name="Mac._run", layer="mac",
+              node=0, scheduled_at=0.0, fired_at=0.0, marks=()):
+    return Span(
+        sid=sid, parent=parent, seq=seq, name=name, etype="Timeout",
+        layer=layer, node=node, component="repro.mac",
+        scheduled_at=scheduled_at, fired_at=fired_at, marks=list(marks),
+    )
+
+
+def sample_spans():
+    return [
+        make_span(1, name="DeferredBatch", layer="des", node=None,
+                  fired_at=1.0),
+        make_span(2, parent=1, seq=1, node=0, scheduled_at=1.0,
+                  fired_at=1.2, marks=[Mark("s", "MAC", 0, 10, "ebl")]),
+        make_span(3, parent=2, seq=2, name="_Delivery", layer="net",
+                  node=1, scheduled_at=1.2, fired_at=1.25,
+                  marks=[Mark("r", "AGT", 1, 10, "ebl")]),
+    ]
+
+
+class TestChromeTrace:
+    def test_document_passes_the_schema_validator(self):
+        doc = to_chrome_trace(sample_spans(), label="unit")
+        assert validate_chrome_trace(doc) == []
+        assert doc["otherData"] == {"scenario": "unit"}
+
+    def test_pid_tid_grid_is_node_plus_one_by_layer(self):
+        doc = to_chrome_trace(sample_spans())
+        slices = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        by_name = {e["name"]: e for e in slices}
+        assert by_name["DeferredBatch"]["pid"] == SIM_PID
+        assert by_name["Mac._run"]["pid"] == 1  # node 0
+        assert by_name["_Delivery"]["pid"] == 2  # node 1
+        # Layers get stable, distinct thread tracks.
+        tids = {e["cat"]: e["tid"] for e in slices}
+        assert len(set(tids.values())) == 3
+
+    def test_metadata_names_every_process_and_thread(self):
+        doc = to_chrome_trace(sample_spans())
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        process_names = {
+            e["args"]["name"] for e in meta if e["name"] == "process_name"
+        }
+        assert process_names == {"sim", "node 0", "node 1"}
+        assert all(
+            e["name"] in ("process_name", "thread_name") for e in meta
+        )
+
+    def test_timestamps_are_microseconds(self):
+        doc = to_chrome_trace(sample_spans())
+        delivery = next(
+            e for e in doc["traceEvents"]
+            if e["ph"] == "X" and e["name"] == "_Delivery"
+        )
+        assert delivery["ts"] == 1.2e6
+        assert delivery["dur"] == (1.25 - 1.2) * 1e6
+        assert delivery["args"]["uids"] == [10]
+
+    def test_cross_track_parents_draw_flow_arrows(self):
+        doc = to_chrome_trace(sample_spans())
+        starts = [e for e in doc["traceEvents"] if e["ph"] == "s"]
+        ends = [e for e in doc["traceEvents"] if e["ph"] == "f"]
+        # Both parent links cross tracks (sim->n0, n0->n1).
+        assert len(starts) == len(ends) == 2
+        assert all(e["bp"] == "e" for e in ends)
+        assert {e["id"] for e in starts} == {e["id"] for e in ends}
+
+    def test_same_track_parents_stay_implicit(self):
+        spans = [
+            make_span(1, fired_at=1.0),
+            make_span(2, parent=1, seq=1, scheduled_at=1.0, fired_at=1.1),
+        ]
+        doc = to_chrome_trace(spans)
+        assert [e for e in doc["traceEvents"] if e["ph"] in ("s", "f")] == []
+
+    def test_flows_flag_disables_arrows(self):
+        doc = to_chrome_trace(sample_spans(), flows=False)
+        assert [e for e in doc["traceEvents"] if e["ph"] in ("s", "f")] == []
+
+    def test_write_round_trips_through_json(self, tmp_path):
+        path = tmp_path / "trace.json"
+        count = write_chrome_trace(str(path), sample_spans(), label="t")
+        doc = json.loads(path.read_text())
+        assert len(doc["traceEvents"]) == count
+        assert validate_chrome_trace(doc) == []
+
+
+class TestValidator:
+    def test_rejects_non_document_shapes(self):
+        assert validate_chrome_trace([]) != []
+        assert validate_chrome_trace({"traceEvents": 3}) != []
+
+    def test_flags_unknown_phase_and_bad_fields(self):
+        doc = {
+            "traceEvents": [
+                {"ph": "Q", "pid": 0, "tid": 0},
+                {"ph": "X", "pid": "zero", "tid": 0, "ts": 1.0,
+                 "dur": -2.0, "name": 7},
+                {"ph": "s", "pid": 0, "tid": 0, "ts": 1.0},
+                {"ph": "M", "pid": 0, "tid": 0, "name": "mystery",
+                 "args": {}},
+            ]
+        }
+        errors = validate_chrome_trace(doc)
+        assert any("unknown phase" in e for e in errors)
+        assert any("pid must be an integer" in e for e in errors)
+        assert any("dur must be non-negative" in e for e in errors)
+        assert any("name must be a string" in e for e in errors)
+        assert any("flow event without an id" in e for e in errors)
+        assert any("unknown metadata" in e for e in errors)
+
+
+class TestSpanJsonl:
+    def test_dict_round_trip_preserves_every_field(self):
+        span = sample_spans()[2]
+        assert span_from_dict(span_to_dict(span)) == span
+
+    def test_file_round_trip_and_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        spans = sample_spans()
+        assert write_spans_jsonl(str(path), spans) == 3
+        path.write_text(path.read_text() + "\n\n")
+        assert read_spans_jsonl(str(path)) == spans
