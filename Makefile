@@ -1,6 +1,6 @@
 # Convenience targets for the EBL reproduction.
 
-.PHONY: install test lint lint-baseline bench bench-smoke bench-micro report figures nam sweep campaign-smoke trace-smoke fuzz-smoke sanitize clean
+.PHONY: install test lint lint-baseline bench bench-smoke bench-micro report figures nam sweep campaign-smoke campaign-bench trace-smoke fuzz-smoke sanitize clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -58,15 +58,23 @@ sweep:
 	ebl-sim sweep packet-size
 	ebl-sim sweep tdma-slots
 
-# Fast end-to-end exercise of the crash-tolerant campaign runner: two
-# short fault-injected trials plus a deliberately crashing and a
-# deliberately hanging one (both must surface as structured failures).
+# Fast end-to-end exercise of the crash-tolerant campaign runner on the
+# parallel worker pool (--jobs 2): two short fault-injected trials plus
+# a deliberately crashing and a deliberately hanging one — watchdog
+# kills and structured failures must behave under concurrency.
 campaign-smoke:
 	PYTHONPATH=src python -m repro.cli campaign --trial 3 --seeds 2 \
-		--duration 3 --timeout 10 --fault-plan light \
+		--duration 3 --timeout 10 --fault-plan light --jobs 2 \
 		--inject-crash --inject-hang \
 		--checkpoint .campaign-smoke.jsonl
 	rm -f .campaign-smoke.jsonl
+
+# Worker-pool scaling demonstration: the same 8-seed campaign at jobs=1
+# and jobs=4, gating on bit-identical per-trial records and reporting
+# the wall-clock speedup (see docs/PERFORMANCE.md, "Campaign scaling").
+campaign-bench:
+	PYTHONPATH=src python -m repro.perf.campaign_scaling --trial 3 \
+		--seeds 8 --jobs 4 --duration 3
 
 # Record a short traced trial, print the causal chain for the initial
 # EBL warning, and export a Perfetto trace plus a collapsed-stack

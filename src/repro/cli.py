@@ -232,7 +232,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
 
     print(
         f"Campaign: {len(trials)} trials of {base.name} "
-        f"(fault plan: {args.fault_plan}, watchdog {args.timeout:g}s)"
+        f"(fault plan: {args.fault_plan}, watchdog {args.timeout:g}s, "
+        f"jobs {args.jobs})"
     )
     result = run_campaign(
         trials,
@@ -240,6 +241,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         checkpoint=args.checkpoint,
         resume=args.resume,
         progress=progress,
+        jobs=args.jobs,
     )
     failed = result.failed
     print(
@@ -581,6 +583,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         max_shrink_probes=args.max_shrink_probes,
         save_dir=args.save_failing,
         progress=progress if not args.quiet else None,
+        jobs=args.jobs,
     )
     print(report.render())
     if args.output:
@@ -650,6 +653,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="run seeds 1..N (default 5)")
     camp_p.add_argument("--timeout", type=float, default=120.0,
                         help="per-trial watchdog, wall-clock seconds")
+    camp_p.add_argument("--jobs", type=int, default=1,
+                        help="trial subprocesses in flight at once "
+                        "(default 1); per-trial records are bit-identical "
+                        "at any value and results stay in trial order")
     camp_p.add_argument("--fault-plan", choices=("none", "light", "heavy"),
                         default="none")
     camp_p.add_argument("--checkpoint",
@@ -854,6 +861,11 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz_p.add_argument(
         "--timeout", type=float, default=60.0,
         help="per-config watchdog, wall-clock seconds (default 60)",
+    )
+    fuzz_p.add_argument(
+        "--jobs", type=int, default=1,
+        help="isolation probes in flight at once during the initial "
+        "sweep (default 1); shrinking is inherently sequential",
     )
     fuzz_p.add_argument(
         "--output", metavar="FILE",

@@ -1,17 +1,36 @@
-"""Crash-tolerant campaign execution.
+"""Crash-tolerant campaign execution on a parallel worker pool.
 
 :func:`run_campaign` runs a batch of trials the way a long unattended
 sweep has to be run: every trial in its own subprocess (a segfault or a
-runaway loop cannot take the campaign down), a watchdog timeout per
-trial, structured :class:`TrialOutcome` records instead of raised
-exceptions, and a JSONL checkpoint so an interrupted campaign resumes
-where it stopped instead of recomputing finished trials.
+runaway loop cannot take the campaign down), up to ``jobs`` trials in
+flight at once, a watchdog deadline per worker, structured
+:class:`TrialOutcome` records instead of raised exceptions, and a JSONL
+checkpoint so an interrupted campaign resumes where it stopped instead
+of recomputing finished trials.
+
+The scheduler is a parent-side event loop that **continuously drains
+each worker's result queue while waiting**.  That is a correctness
+property, not just a throughput one: a worker whose result payload
+exceeds the OS pipe buffer (a large ``violations`` list, say) blocks in
+its queue feeder thread until the parent reads, so a join-before-drain
+protocol deadlocks — the watchdog then kills a *finished* trial and
+records a synthetic ``timeout``.  Draining while waiting removes that
+failure mode structurally; ``jobs=1`` keeps the exact sequential trial
+ordering while still using the drain-while-waiting protocol.
+
+Scheduling never touches results: each worker computes its metrics from
+its own config and seed, so per-trial records are bit-identical at any
+``jobs`` value, and :class:`CampaignResult` always lists outcomes in
+trial order regardless of completion order.  Only the parent appends to
+the checkpoint (single writer), in completion order — resume indexes by
+key and is order-insensitive.
 
 For exercising the failure paths themselves (tests, the CI smoke
 campaign), a :class:`CampaignTrial` can carry a synthetic ``kind``:
-``inject-crash`` makes the worker raise and ``inject-hang`` makes it
-sleep past any watchdog — producing real ``error`` and ``timeout``
-records through the real machinery.
+``inject-crash`` makes the worker raise, ``inject-hang`` makes it sleep
+past any watchdog, and ``inject-large-result`` reports a >1 MiB result
+payload — producing real ``error``/``timeout`` records and a real
+pipe-drain exercise through the real machinery.
 
 This module is host-side orchestration, not simulation: it deliberately
 reads the wall clock (per-trial wall time is one of its outputs) and the
@@ -20,12 +39,14 @@ SIM002 suppressions below mark exactly those reads.
 
 from __future__ import annotations
 
+import copy as copy_module
 import json
 import multiprocessing
 import queue as queue_module
 import time
 import traceback
 from dataclasses import dataclass, field
+from multiprocessing.connection import wait as _wait_for_ready
 from pathlib import Path
 from typing import Callable, Optional, Sequence, Union
 
@@ -38,11 +59,22 @@ from repro.obs.introspect import read_last_heartbeat
 from repro.sanitizer.config import SanitizerConfig
 
 #: Synthetic trial kinds used to exercise the campaign's failure paths.
-TRIAL_KINDS = ("trial", "inject-crash", "inject-hang")
+TRIAL_KINDS = ("trial", "inject-crash", "inject-hang", "inject-large-result")
 
 #: Trial statuses a campaign can record.  ``violation`` means the trial
 #: completed but its runtime sanitizer (simsan) found broken invariants.
 STATUSES = ("ok", "error", "timeout", "violation")
+
+#: Records in an ``inject-large-result`` payload; with ~1 KiB per record
+#: the serialized result is >1 MiB — far beyond any OS pipe buffer, so
+#: the worker's queue feeder cannot flush it until the parent drains.
+LARGE_RESULT_RECORDS = 1100
+
+#: Longest the scheduler sleeps between drain rounds, seconds.  Workers
+#: normally wake it early (process sentinels and queue readers are both
+#: waited on), so this only bounds the latency of edge cases where
+#: neither fires.
+_POLL_INTERVAL = 0.05
 
 
 @dataclass(frozen=True)
@@ -199,6 +231,27 @@ def _write_failure_trace(trial: CampaignTrial, scenario) -> str:
     return str(path)
 
 
+def _large_result_payload(trial: CampaignTrial) -> dict:
+    """A synthetic >1 MiB result: the pipe-drain exercise for the pool."""
+    filler = "payload-" + "x" * 1016  # ~1 KiB per violation record
+    return {
+        "status": "violation",
+        "metrics": {"payload_records": float(LARGE_RESULT_RECORDS)},
+        "violations": [
+            {
+                "checker": "synthetic-large-result",
+                "layer": "campaign",
+                "message": filler,
+                "time": float(index),
+                "scenario": trial.key,
+            }
+            for index in range(LARGE_RESULT_RECORDS)
+        ],
+        "error": "synthetic >1 MiB result payload (pipe-drain exercise)",
+        "trace": "",
+    }
+
+
 def _worker(trial: CampaignTrial, results: multiprocessing.Queue) -> None:
     """Subprocess entry point: run one trial, report through the queue."""
     # The scenario is built and run in separate steps (rather than via
@@ -211,6 +264,9 @@ def _worker(trial: CampaignTrial, results: multiprocessing.Queue) -> None:
         if trial.kind == "inject-hang":
             while True:  # exceed any watchdog; the parent will kill us
                 time.sleep(3600)
+        if trial.kind == "inject-large-result":
+            results.put(_large_result_payload(trial))
+            return
         from repro.core.scenario import EblScenario
 
         scenario = EblScenario(trial.config)
@@ -257,6 +313,26 @@ def _load_checkpoint(path: Path) -> dict[str, TrialOutcome]:
     return completed
 
 
+def _resumed_copy(previous: TrialOutcome) -> TrialOutcome:
+    """A deep, ``resumed=True`` copy of a checkpointed outcome.
+
+    Callers own the outcomes a campaign returns and may mutate them
+    (metrics post-processing, violation triage).  Handing out the cached
+    object itself would let that mutation corrupt resume state on a
+    later :func:`run_campaign` call in the same process.
+    """
+    return TrialOutcome(
+        key=previous.key,
+        status=previous.status,
+        metrics=copy_module.deepcopy(previous.metrics),
+        error=previous.error,
+        violations=copy_module.deepcopy(previous.violations),
+        elapsed=previous.elapsed,
+        resumed=True,
+        trace=previous.trace,
+    )
+
+
 def _heartbeat_progress(trial: CampaignTrial) -> str:
     """Where a killed trial had got to, from its last on-disk heartbeat.
 
@@ -280,19 +356,133 @@ def _heartbeat_progress(trial: CampaignTrial) -> str:
     )
     # The interval rate is the slow-vs-hung discriminator: a trial that
     # was still retiring events in its final beat was slow but alive; one
-    # whose per-interval rate had collapsed was effectively hung.
+    # whose per-interval rate had collapsed was effectively hung.  The
+    # record survived a kill, so the value may be torn or hand-edited —
+    # a non-numeric rate just omits the clause rather than crashing the
+    # watchdog report.
     interval_rate = beat.get("interval_events_per_wall_s")
     if interval_rate is not None:
-        message += f" (last interval: {interval_rate:,.0f} events/wall-s)"
+        try:
+            message += f" (last interval: {float(interval_rate):,.0f} events/wall-s)"
+        except (TypeError, ValueError):
+            pass
     return message
 
 
-def _terminate(process: multiprocessing.Process) -> None:
+def _terminate(process) -> None:
     process.terminate()
     process.join(timeout=5.0)
     if process.is_alive():  # pragma: no cover - stubborn process
         process.kill()
         process.join()
+
+
+def _poll_result(results: multiprocessing.Queue) -> Optional[dict]:
+    """One non-blocking drain attempt; None when nothing (usable) arrived.
+
+    A worker killed mid-flush can leave a torn message behind — that
+    surfaces as EOF/OS errors here and counts as "no result", exactly
+    like an empty queue.
+    """
+    try:
+        return results.get_nowait()
+    except queue_module.Empty:
+        return None
+    except (EOFError, OSError):  # pragma: no cover - torn post-kill message
+        return None
+
+
+def _retire_queue(results: multiprocessing.Queue) -> None:
+    """Release a drained queue's pipe fds and feeder bookkeeping.
+
+    The parent never puts, so ``join_thread`` returns immediately; what
+    this buys is prompt fd release — a thousand-trial campaign must not
+    hold a pipe pair per finished trial until garbage collection gets
+    around to it.
+    """
+    results.close()
+    results.join_thread()
+
+
+@dataclass
+class _Worker:
+    """Parent-side bookkeeping for one in-flight trial subprocess."""
+
+    index: int
+    trial: CampaignTrial
+    process: object
+    results: multiprocessing.Queue
+    started: float
+    deadline: float
+    #: The drained result payload, once the worker reported.
+    payload: Optional[dict] = None
+    #: Wall-clock instant the payload arrived (elapsed uses it: queue
+    #: residency and parent scheduling must not count as trial time).
+    reported_at: Optional[float] = None
+
+    def drain(self, now: float) -> None:
+        if self.payload is None:
+            self.payload = _poll_result(self.results)
+            if self.payload is not None:
+                self.reported_at = now
+
+
+def _outcome_from_payload(
+    trial: CampaignTrial, payload: dict, elapsed: float
+) -> TrialOutcome:
+    """The structured record for a worker that reported a result."""
+    if payload["status"] == "ok":
+        return TrialOutcome(
+            key=trial.key,
+            status="ok",
+            metrics=payload["metrics"],
+            elapsed=elapsed,
+        )
+    if payload["status"] == "violation":
+        return TrialOutcome(
+            key=trial.key,
+            status="violation",
+            metrics=payload["metrics"],
+            error=payload["error"],
+            violations=payload["violations"],
+            elapsed=elapsed,
+            trace=payload.get("trace", ""),
+        )
+    return TrialOutcome(
+        key=trial.key,
+        status="error",
+        error=payload["error"],
+        elapsed=elapsed,
+        trace=payload.get("trace", ""),
+    )
+
+
+def _finalize_worker(
+    worker: _Worker, now: float, killed: bool, timeout: float
+) -> TrialOutcome:
+    """Turn a finished (or just-killed) worker into its outcome record."""
+    if worker.payload is not None:
+        reported = worker.reported_at if worker.reported_at is not None else now
+        return _outcome_from_payload(
+            worker.trial, worker.payload, reported - worker.started
+        )
+    if killed:
+        return TrialOutcome(
+            key=worker.trial.key,
+            status="timeout",
+            error=f"trial exceeded its {timeout:g}s watchdog"
+            + _heartbeat_progress(worker.trial),
+            elapsed=now - worker.started,
+        )
+    return TrialOutcome(
+        key=worker.trial.key,
+        status="error",
+        error=(
+            "worker died without a result "
+            f"(exit code {worker.process.exitcode})"
+        ),
+        elapsed=now - worker.started,
+    )
 
 
 def run_campaign(
@@ -301,6 +491,7 @@ def run_campaign(
     checkpoint: Optional[Union[str, Path]] = None,
     resume: bool = False,
     progress: Optional[Callable[[TrialOutcome], None]] = None,
+    jobs: int = 1,
 ) -> CampaignResult:
     """Run every trial in an isolated subprocess; never raise per-trial.
 
@@ -309,18 +500,32 @@ def run_campaign(
     trials:
         The work list; keys must be unique (they index the checkpoint).
     timeout:
-        Watchdog per trial, wall-clock seconds.  A trial still running at
-        the deadline is killed and recorded as ``timeout``.
+        Watchdog per trial, wall-clock seconds, counted from that trial's
+        own subprocess start.  A trial still running at its deadline is
+        killed; if it had already reported a result by then (a finished
+        worker lingering in teardown, or a result still sitting in the
+        pipe), the real outcome is recorded — only trials that genuinely
+        never reported become ``timeout``.
     checkpoint:
-        JSONL file appended after every finished trial.  With ``resume``
-        True, trials whose keys already appear in it are not re-run; their
-        records are returned with ``resumed=True``.
+        JSONL file the parent (and only the parent) appends to after
+        every finished trial, in completion order.  With ``resume``
+        True, trials whose keys already appear in it are not re-run;
+        deep copies of their records are returned with ``resumed=True``.
     progress:
         Optional callback invoked with each :class:`TrialOutcome` as it
-        is produced (including resumed ones).
+        is produced: resumed outcomes first (in trial order), then live
+        outcomes in completion order.
+    jobs:
+        Trial subprocesses in flight at once.  Scheduling never feeds
+        back into results, so any value produces bit-identical per-trial
+        records and the returned result is always in trial order;
+        ``jobs=1`` (the default) additionally runs trials strictly in
+        sequence.
     """
     if timeout <= 0:
         raise ValueError("timeout must be positive")
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
     keys = [trial.key for trial in trials]
     if len(set(keys)) != len(keys):
         raise ValueError("trial keys must be unique")
@@ -338,79 +543,107 @@ def run_campaign(
         "fork" if "fork" in methods else "spawn"
     )
 
-    outcomes: list[TrialOutcome] = []
-    for trial in trials:
-        previous = completed.get(trial.key)
-        if previous is not None:
-            previous.resumed = True
-            outcomes.append(previous)
-            if progress is not None:
-                progress(previous)
-            continue
-        results: multiprocessing.Queue = context.Queue()
-        process = context.Process(
-            target=_worker, args=(trial, results), daemon=True
-        )
-        started = time.monotonic()  # simlint: disable=SIM002
-        process.start()
-        process.join(timeout)
-        elapsed = time.monotonic() - started  # simlint: disable=SIM002
-        if process.is_alive():
-            _terminate(process)
-            outcome = TrialOutcome(
-                key=trial.key,
-                status="timeout",
-                error=f"trial exceeded its {timeout:g}s watchdog"
-                + _heartbeat_progress(trial),
-                elapsed=elapsed,
-            )
-        else:
-            try:
-                payload = results.get(timeout=1.0)
-            except queue_module.Empty:
-                payload = None
-            if payload is None:
-                outcome = TrialOutcome(
-                    key=trial.key,
-                    status="error",
-                    error=(
-                        "worker died without a result "
-                        f"(exit code {process.exitcode})"
-                    ),
-                    elapsed=elapsed,
-                )
-            elif payload["status"] == "ok":
-                outcome = TrialOutcome(
-                    key=trial.key,
-                    status="ok",
-                    metrics=payload["metrics"],
-                    elapsed=elapsed,
-                )
-            elif payload["status"] == "violation":
-                outcome = TrialOutcome(
-                    key=trial.key,
-                    status="violation",
-                    metrics=payload["metrics"],
-                    error=payload["error"],
-                    violations=payload["violations"],
-                    elapsed=elapsed,
-                    trace=payload.get("trace", ""),
-                )
-            else:
-                outcome = TrialOutcome(
-                    key=trial.key,
-                    status="error",
-                    error=payload["error"],
-                    elapsed=elapsed,
-                    trace=payload.get("trace", ""),
-                )
-        outcomes.append(outcome)
-        if checkpoint_path is not None:
+    done: dict[int, TrialOutcome] = {}
+
+    def record(outcome: TrialOutcome, index: int, fresh: bool) -> None:
+        # Single-writer checkpoint discipline: every append happens here,
+        # in the parent, one line per freshly finished trial.
+        done[index] = outcome
+        if fresh and checkpoint_path is not None:
             with checkpoint_path.open("a") as handle:
                 handle.write(outcome.to_json() + "\n")
         if progress is not None:
             progress(outcome)
-    return CampaignResult(outcomes=outcomes)
+
+    pending: list[tuple[int, CampaignTrial]] = []
+    for index, trial in enumerate(trials):
+        previous = completed.get(trial.key)
+        if previous is not None:
+            record(_resumed_copy(previous), index, fresh=False)
+        else:
+            pending.append((index, trial))
+    pending.reverse()  # pop() from the tail keeps trial order
+
+    running: list[_Worker] = []
+    while pending or running:
+        while pending and len(running) < jobs:
+            index, trial = pending.pop()
+            results: multiprocessing.Queue = context.Queue()
+            process = context.Process(
+                target=_worker, args=(trial, results), daemon=True
+            )
+            started = time.monotonic()  # simlint: disable=SIM002
+            process.start()
+            running.append(
+                _Worker(
+                    index=index,
+                    trial=trial,
+                    process=process,
+                    results=results,
+                    started=started,
+                    deadline=started + timeout,
+                )
+            )
+
+        now = time.monotonic()  # simlint: disable=SIM002
+        still_running: list[_Worker] = []
+        finished = False
+        for worker in running:
+            worker.drain(now)
+            if not worker.process.is_alive():
+                # The feeder flushes before the process exits, so one
+                # post-mortem drain catches a result that raced the
+                # liveness check above.
+                worker.drain(now)
+                worker.process.join()
+                outcome = _finalize_worker(worker, now, killed=False,
+                                           timeout=timeout)
+            elif now >= worker.deadline:
+                # Watchdog.  Drain once more after the kill too: a trial
+                # that finished right at the deadline keeps its real
+                # outcome instead of a synthetic timeout.
+                _terminate(worker.process)
+                worker.drain(now)
+                outcome = _finalize_worker(worker, now, killed=True,
+                                           timeout=timeout)
+            else:
+                still_running.append(worker)
+                continue
+            _retire_queue(worker.results)
+            record(outcome, worker.index, fresh=True)
+            finished = True
+        running = still_running
+
+        # The fill loop above ran until the pool was full or the work
+        # list empty, so nothing new can start before a worker finishes
+        # — when none did this round, sleep until one shows signs of it.
+        if running and not finished:
+            _sleep_until_activity(running, timeout=_POLL_INTERVAL)
+
+    return CampaignResult(
+        outcomes=[done[index] for index in range(len(trials))]
+    )
+
+
+def _sleep_until_activity(running: Sequence[_Worker], timeout: float) -> None:
+    """Block until a worker exits, starts flushing a result, or ``timeout``.
+
+    Waits on each live process's sentinel *and* (where the platform
+    exposes it) the result queue's read end — a worker blocked flushing
+    an over-pipe-buffer payload never exits until drained, so its
+    sentinel alone would sleep the scheduler for the full poll interval.
+    """
+    waitables = []
+    for worker in running:
+        waitables.append(worker.process.sentinel)
+        if worker.payload is None:
+            reader = getattr(worker.results, "_reader", None)
+            if reader is not None:
+                waitables.append(reader)
+    if not waitables:  # pragma: no cover - every worker already reported
+        time.sleep(timeout)  # simlint: disable=SIM002
+        return
+    _wait_for_ready(waitables, timeout)
 
 
 def campaign_trials(

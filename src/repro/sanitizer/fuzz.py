@@ -540,6 +540,7 @@ def run_fuzz(
     save_dir: Optional[Union[str, Path]] = None,
     progress: Optional[Callable[[int, object], None]] = None,
     configs: Optional[Sequence[TrialConfig]] = None,
+    jobs: int = 1,
 ) -> FuzzReport:
     """Fuzz ``count`` configs from ``seed``; shrink whatever fails.
 
@@ -547,7 +548,15 @@ def run_fuzz(
     default is :func:`subprocess_probe` (full isolation).  Tests inject
     :func:`in_process_probe` or a synthetic predicate.  ``configs``
     overrides generation (the CLI's re-run path).
+
+    With ``jobs > 1`` and the default probe, the initial sweep runs as
+    one parallel campaign (``jobs`` isolated subprocesses in flight);
+    outcomes and the report are identical to the sequential sweep, and
+    ``progress`` is still called in config order — just after the sweep
+    instead of during it.  Shrinking stays sequential: each probe
+    depends on the previous verdict.
     """
+    default_probe = probe is None
     if probe is None:
         def probe(config: TrialConfig):  # pragma: no cover - thin default
             return subprocess_probe(config, timeout=timeout)
@@ -559,8 +568,26 @@ def run_fuzz(
     save_path = Path(save_dir) if save_dir is not None else None
     if save_path is not None:
         save_path.mkdir(parents=True, exist_ok=True)
+    sweep_outcomes: Optional[list] = None
+    names = [config.name for config in work]
+    if jobs > 1 and default_probe and len(set(names)) == len(names):
+        from repro.experiments.campaign import CampaignTrial, run_campaign
+
+        sweep = run_campaign(
+            [
+                CampaignTrial(key=config.name, config=config)
+                for config in work
+            ],
+            timeout=timeout,
+            jobs=jobs,
+        )
+        sweep_outcomes = sweep.outcomes  # always in config order
     for index, config in enumerate(work):
-        outcome = probe(config)
+        outcome = (
+            sweep_outcomes[index]
+            if sweep_outcomes is not None
+            else probe(config)
+        )
         if progress is not None:
             progress(index, outcome)
         status = outcome.status

@@ -1,20 +1,30 @@
-"""Crash-tolerant campaign runner: isolation, watchdog, checkpoint/resume."""
+"""Crash-tolerant campaign runner: pool scheduling, watchdog, resume."""
 
 from __future__ import annotations
 
 import json
+import multiprocessing
+import time
+from pathlib import Path
 
 import pytest
 
 from repro.core.trials import TrialConfig
 from repro.experiments.campaign import (
+    LARGE_RESULT_RECORDS,
     CampaignResult,
     CampaignTrial,
     TrialOutcome,
+    _heartbeat_progress,
     campaign_trials,
     run_campaign,
 )
 from repro.faults.schedule import FaultPlan
+
+needs_fork = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="stub workers are closures; only fork ships them to the child",
+)
 
 
 def tiny_config(name: str = "campaign-test", seed: int = 1) -> TrialConfig:
@@ -216,6 +226,246 @@ class TestRunCampaign:
             resume=True,
         )
         assert result.outcome("a").resumed is True
+
+
+class TestWorkerPool:
+    def test_jobs_validated(self):
+        with pytest.raises(ValueError, match="jobs"):
+            run_campaign(
+                [CampaignTrial(key="a", kind="inject-crash")], jobs=0
+            )
+
+    def test_large_result_payload_survives_the_pipe(self, tmp_path):
+        """Deadlock repro: a result bigger than the OS pipe buffer.
+
+        Under the old join-before-drain protocol the worker's queue
+        feeder blocks flushing the payload, the worker can never exit,
+        ``join(timeout)`` burns the whole watchdog, and a *finished*
+        trial is killed and recorded as a synthetic ``timeout``.  The
+        pool drains while waiting, so the trial completes in well under
+        the watchdog with its real outcome intact.
+        """
+        checkpoint = tmp_path / "campaign.jsonl"
+        started = time.monotonic()  # simlint: disable=SIM002
+        result = run_campaign(
+            [CampaignTrial(key="big", kind="inject-large-result")],
+            timeout=30.0,
+            checkpoint=checkpoint,
+        )
+        wall = time.monotonic() - started  # simlint: disable=SIM002
+        outcome = result.outcome("big")
+        assert outcome.status == "violation"  # the real outcome, no timeout
+        assert len(outcome.violations) == LARGE_RESULT_RECORDS
+        assert wall < 15.0  # finished by draining, not by watchdog firing
+        # The payload genuinely crossed the pipe: >1 MiB on one line.
+        line = checkpoint.read_text().splitlines()[0]
+        assert len(line) > 2**20
+        restored = TrialOutcome.from_json(line)
+        assert restored.violations == outcome.violations
+
+    def test_parallel_matches_sequential_bit_identical(self, tmp_path):
+        """Same trials at jobs=4 and jobs=1: identical per-trial records."""
+        from repro.perf.campaign_scaling import compare_outcomes
+
+        trials = campaign_trials(
+            tiny_config(name="diff"),
+            seeds=range(1, 9),
+            fault_plan=FaultPlan(link_outages=1),
+        )
+        chk_seq = tmp_path / "seq.jsonl"
+        chk_par = tmp_path / "par.jsonl"
+        sequential = run_campaign(
+            trials, timeout=60.0, checkpoint=chk_seq, jobs=1
+        )
+        parallel = run_campaign(
+            trials, timeout=60.0, checkpoint=chk_par, jobs=4
+        )
+        # Results come back in trial order regardless of completion order.
+        assert [o.key for o in parallel.outcomes] == [t.key for t in trials]
+        assert compare_outcomes(sequential, parallel) == []
+        # Checkpoints hold the same records modulo order and elapsed.
+        assert self._canonical(chk_seq) == self._canonical(chk_par)
+
+    @staticmethod
+    def _canonical(path: Path) -> dict[str, str]:
+        records = {}
+        for line in path.read_text().splitlines():
+            data = json.loads(line)
+            data.pop("elapsed")
+            records[data["key"]] = json.dumps(data, sort_keys=True)
+        return records
+
+    def test_resume_from_a_parallel_checkpoint(self, tmp_path):
+        checkpoint = tmp_path / "campaign.jsonl"
+        base = tiny_config(name="res")
+        first = campaign_trials(base, seeds=range(1, 9))
+        run_campaign(first, timeout=60.0, checkpoint=checkpoint, jobs=4)
+        assert len(checkpoint.read_text().splitlines()) == 8
+
+        extended = campaign_trials(base, seeds=range(1, 11))
+        second = run_campaign(
+            extended, timeout=60.0, checkpoint=checkpoint, resume=True,
+            jobs=4,
+        )
+        assert [o.key for o in second.outcomes] == [
+            t.key for t in extended
+        ]
+        resumed = [o for o in second.outcomes if o.resumed]
+        assert sorted(o.key for o in resumed) == sorted(
+            t.key for t in first
+        )
+        fresh = [o for o in second.outcomes if not o.resumed]
+        assert sorted(o.key for o in fresh) == ["res-seed10", "res-seed9"]
+        assert len(checkpoint.read_text().splitlines()) == 10
+        # Resumed records are deep copies: corrupting one cannot bleed
+        # into a later resume from the same checkpoint.
+        second.outcome("res-seed1").metrics["delivered_segments"] = -1.0
+        third = run_campaign(
+            extended, timeout=60.0, checkpoint=checkpoint, resume=True,
+            jobs=2,
+        )
+        assert (
+            third.outcome("res-seed1").metrics["delivered_segments"] != -1.0
+        )
+
+    def test_concurrent_watchdog_kills_overlap(self):
+        """Two hung trials share their watchdog window instead of queuing."""
+        trials = [
+            CampaignTrial(key="hang-a", kind="inject-hang"),
+            CampaignTrial(key="hang-b", kind="inject-hang"),
+            CampaignTrial(key="crash", kind="inject-crash"),
+        ]
+        started = time.monotonic()  # simlint: disable=SIM002
+        result = run_campaign(trials, timeout=2.0, jobs=3)
+        wall = time.monotonic() - started  # simlint: disable=SIM002
+        assert [o.status for o in result.outcomes] == [
+            "timeout", "timeout", "error",
+        ]
+        for key in ("hang-a", "hang-b"):
+            outcome = result.outcome(key)
+            assert "watchdog" in outcome.error
+            assert outcome.elapsed >= 2.0
+        assert wall < 3.5  # both 2s watchdogs ran concurrently
+
+    @needs_fork
+    def test_deadline_prefers_reported_result_over_timeout(
+        self, monkeypatch
+    ):
+        """A worker that reported but lingers is killed — its real outcome
+        is recorded, not a synthetic ``timeout``."""
+        import repro.experiments.campaign as campaign_module
+
+        def lingering_worker(trial, results):
+            results.put({"status": "ok", "metrics": {"marker": 1.0}})
+            while True:
+                time.sleep(3600)
+
+        monkeypatch.setattr(campaign_module, "_worker", lingering_worker)
+        started = time.monotonic()  # simlint: disable=SIM002
+        result = run_campaign(
+            [CampaignTrial(key="linger", kind="inject-hang")], timeout=2.0
+        )
+        wall = time.monotonic() - started  # simlint: disable=SIM002
+        outcome = result.outcome("linger")
+        assert outcome.status == "ok"
+        assert outcome.metrics == {"marker": 1.0}
+        assert wall < 10.0  # the lingering process did get terminated
+
+    @pytest.mark.skipif(
+        not Path("/proc/self/fd").exists(), reason="needs procfs"
+    )
+    def test_queue_lifecycle_releases_fds(self):
+        """A campaign's queues are closed as trials finish, not leaked."""
+
+        def fd_count() -> int:
+            return len(list(Path("/proc/self/fd").iterdir()))
+
+        def crash_trials(prefix: str) -> list[CampaignTrial]:
+            return [
+                CampaignTrial(key=f"{prefix}{i}", kind="inject-crash")
+                for i in range(12)
+            ]
+
+        # Warm-up run: multiprocessing lazily creates its resource
+        # tracker and semaphores on first use.
+        run_campaign(crash_trials("warm"), timeout=30.0, jobs=3)
+        before = fd_count()
+        run_campaign(crash_trials("meas"), timeout=30.0, jobs=3)
+        assert fd_count() <= before + 4
+
+
+class TestResumedCopies:
+    def test_resumed_outcomes_are_independent_copies(self, tmp_path):
+        checkpoint = tmp_path / "campaign.jsonl"
+        done = TrialOutcome(
+            key="done",
+            status="violation",
+            metrics={"delivered_segments": 7.0},
+            error="sanitizer report ...",
+            violations=[{"checker": "queue-over-limit", "time": 1.0}],
+        )
+        checkpoint.write_text(done.to_json() + "\n")
+        trial = CampaignTrial(key="done", config=tiny_config())
+
+        first = run_campaign([trial], checkpoint=checkpoint, resume=True)
+        second = run_campaign([trial], checkpoint=checkpoint, resume=True)
+        a = first.outcome("done")
+        b = second.outcome("done")
+        assert a.resumed and b.resumed
+        assert a is not b
+        # Mutating one caller's outcome corrupts neither the other run's
+        # record nor nested structures like the violations list.
+        a.metrics["delivered_segments"] = -1.0
+        a.violations[0]["checker"] = "hacked"
+        assert b.metrics == {"delivered_segments": 7.0}
+        assert b.violations[0]["checker"] == "queue-over-limit"
+
+
+class TestHeartbeatProgressGuard:
+    @staticmethod
+    def _trial_with_heartbeat(tmp_path, record: dict) -> CampaignTrial:
+        from repro.obs.config import ObservabilityConfig
+
+        path = tmp_path / "t.heartbeat.jsonl"
+        path.write_text(json.dumps(record) + "\n")
+        config = tiny_config().with_overrides(
+            observability=ObservabilityConfig(
+                metrics=True,
+                journeys=False,
+                heartbeat_interval=1.0,
+                heartbeat_path=str(path),
+            )
+        )
+        return CampaignTrial(key="t", config=config)
+
+    def test_numeric_interval_rate_formatted(self, tmp_path):
+        trial = self._trial_with_heartbeat(
+            tmp_path,
+            {
+                "sim_time": 1.5,
+                "events": 1000,
+                "events_per_wall_s": 5000.0,
+                "interval_events_per_wall_s": 12345.6,
+            },
+        )
+        message = _heartbeat_progress(trial)
+        assert "last heartbeat: sim_time=1.5" in message
+        assert "(last interval: 12,346 events/wall-s)" in message
+
+    def test_non_numeric_interval_rate_tolerated(self, tmp_path):
+        """A torn/hand-edited heartbeat must not crash the watchdog report."""
+        trial = self._trial_with_heartbeat(
+            tmp_path,
+            {
+                "sim_time": 1.5,
+                "events": 1000,
+                "events_per_wall_s": 5000.0,
+                "interval_events_per_wall_s": "torn",
+            },
+        )
+        message = _heartbeat_progress(trial)
+        assert "last heartbeat: sim_time=1.5" in message
+        assert "last interval" not in message
 
 
 class TestCampaignTrials:

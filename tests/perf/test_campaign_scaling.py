@@ -1,0 +1,133 @@
+"""Campaign worker-pool scaling: overlap, determinism, speedup gates."""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+
+import pytest
+
+from repro.core.trials import TrialConfig
+from repro.experiments.campaign import CampaignTrial, run_campaign
+from repro.perf.campaign_scaling import (
+    compare_outcomes,
+    format_report,
+    measure_campaign_scaling,
+)
+
+needs_fork = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="stub workers are closures; only fork ships them to the child",
+)
+
+
+def _hardware_threads() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def tiny_config(name: str) -> TrialConfig:
+    return TrialConfig(
+        name=name,
+        seed=1,
+        duration=1.5,
+        enable_trace=False,
+        track_energy=False,
+    )
+
+
+@needs_fork
+def test_pool_overlaps_an_8_trial_campaign_near_linearly(monkeypatch):
+    """ISSUE acceptance: jobs=4 beats jobs=1 on the same 8-trial campaign
+    with bit-identical per-trial records.
+
+    The stub workers block in ``sleep`` instead of burning CPU, so the
+    measured overlap is a property of the *scheduler* and holds on any
+    host — including single-hardware-thread CI containers where
+    CPU-bound trials cannot physically speed up (real-trial multicore
+    scaling is asserted separately below and reported by
+    ``make campaign-bench``).  Retry protocol as in the tracing-overhead
+    gate: up to five attempts, pass on the first under the bar; genuine
+    scheduler serialization fails every attempt.
+    """
+    import repro.experiments.campaign as campaign_module
+
+    nap = 0.25
+
+    def sleeping_worker(trial, results):
+        time.sleep(nap)
+        results.put(
+            {"status": "ok", "metrics": {"key_len": float(len(trial.key))}}
+        )
+
+    monkeypatch.setattr(campaign_module, "_worker", sleeping_worker)
+    trials = [
+        CampaignTrial(key=f"sleep-{i}", kind="inject-hang") for i in range(8)
+    ]
+
+    ratios = []
+    for _attempt in range(5):
+        started = time.monotonic()  # simlint: disable=SIM002
+        sequential = run_campaign(trials, timeout=30.0, jobs=1)
+        wall_sequential = time.monotonic() - started  # simlint: disable=SIM002
+        started = time.monotonic()  # simlint: disable=SIM002
+        parallel = run_campaign(trials, timeout=30.0, jobs=4)
+        wall_parallel = time.monotonic() - started  # simlint: disable=SIM002
+
+        assert compare_outcomes(sequential, parallel) == []
+        assert [o.key for o in parallel.outcomes] == [t.key for t in trials]
+        # 8 naps sequentially is >= 8*nap; 4-wide is 2 waves >= 2*nap.
+        assert wall_sequential >= 8 * nap
+        ratios.append(wall_parallel / wall_sequential)
+        if ratios[-1] < 0.6:
+            return
+    assert False, (
+        "worker pool never overlapped trials: parallel/sequential ratios "
+        + ", ".join(f"{r:.2f}" for r in ratios)
+    )
+
+
+@pytest.mark.skipif(
+    _hardware_threads() < 2,
+    reason="CPU-bound trials cannot overlap on one hardware thread",
+)
+def test_real_trials_speed_up_on_multicore():
+    """On real hardware parallelism, real trials get measurably faster."""
+    base = tiny_config("scale")
+    jobs = min(4, _hardware_threads())
+    speedups = []
+    for _attempt in range(5):
+        report = measure_campaign_scaling(
+            base, seeds=8, jobs=jobs, timeout=120.0
+        )
+        assert report["identical"], report["mismatches"]
+        speedups.append(report["speedup"])
+        if report["speedup"] > 1.2:
+            return
+    assert False, (
+        f"no wall-clock speedup at jobs={jobs}: "
+        + ", ".join(f"{s:.2f}x" for s in speedups)
+    )
+
+
+def test_measure_campaign_scaling_report_shape():
+    base = tiny_config("shape")
+    report = measure_campaign_scaling(base, seeds=2, jobs=2, timeout=60.0)
+    assert report["schema"] == "repro.campaign-scaling/1"
+    assert report["trial"] == "shape"
+    assert report["seeds"] == 2 and report["jobs"] == 2
+    assert report["identical"] is True
+    assert report["mismatches"] == []
+    assert report["statuses"] == {"ok": 2}
+    assert report["wall_sequential_s"] > 0
+    assert report["wall_parallel_s"] > 0
+    assert report["speedup"] > 0
+    assert "bit-identical" in format_report(report)
+
+
+def test_measure_campaign_scaling_validates_seeds():
+    with pytest.raises(ValueError, match="seeds"):
+        measure_campaign_scaling(tiny_config("bad"), seeds=0)

@@ -282,3 +282,64 @@ class TestRunFuzzCleanPath:
         assert data["schema"] == "repro.fuzz/1"
         assert data["ok"] is True
         assert data["count"] == 2
+
+
+class TestParallelSweep:
+    """``jobs > 1`` runs the initial sweep as one parallel campaign."""
+
+    @staticmethod
+    def _tiny_configs(count: int) -> list[TrialConfig]:
+        return [
+            TrialConfig(
+                name=f"psweep-{index}",
+                seed=index + 1,
+                duration=1.0,
+                enable_trace=False,
+                track_energy=False,
+                sanitize=SanitizerConfig(),
+            )
+            for index in range(count)
+        ]
+
+    def test_parallel_sweep_matches_sequential(self):
+        configs = self._tiny_configs(3)
+        sequential = run_fuzz(
+            seed=1, count=0, configs=configs, jobs=1, shrink_failures=False
+        )
+        parallel = run_fuzz(
+            seed=1, count=0, configs=configs, jobs=2, shrink_failures=False
+        )
+        assert sequential.statuses == {"ok": 3}
+        assert parallel.statuses == {"ok": 3}
+        assert parallel.ok and sequential.ok
+
+    def test_parallel_sweep_progress_stays_in_config_order(self):
+        configs = self._tiny_configs(3)
+        calls = []
+        run_fuzz(
+            seed=1,
+            count=0,
+            configs=configs,
+            jobs=3,
+            shrink_failures=False,
+            progress=lambda index, outcome: calls.append(
+                (index, outcome.key)
+            ),
+        )
+        assert calls == [
+            (0, "psweep-0"), (1, "psweep-1"), (2, "psweep-2"),
+        ]
+
+    def test_custom_probe_ignores_jobs(self):
+        # An injected probe has unknown semantics; jobs must not bypass it.
+        seen = []
+        report = run_fuzz(
+            seed=9,
+            count=3,
+            probe=lambda c: (
+                seen.append(c.name) or TrialOutcome(key=c.name, status="ok")
+            ),
+            jobs=4,
+        )
+        assert report.statuses == {"ok": 3}
+        assert len(seen) == 3
